@@ -1,0 +1,59 @@
+// Command benchfig regenerates the paper's figures, listings and
+// illustration experiments (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	benchfig -list
+//	benchfig -exp F2V1            # one experiment
+//	benchfig -all                 # everything
+//	benchfig -all -small          # fast configuration
+//	benchfig -exp OV1 -subjects 500 -ops 2000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments")
+		expID    = flag.String("exp", "", "experiment id to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		small    = flag.Bool("small", false, "small/fast configuration")
+		subjects = flag.Int("subjects", 0, "override subject population")
+		ops      = flag.Int("ops", 0, "override operation count")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	p := bench.Params{Seed: *seed, Subjects: *subjects, Ops: *ops, Small: *small}
+	switch {
+	case *list:
+		fmt.Println("experiments (id — title — paper artifact):")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-5s %-62s %s\n", e.ID, e.Title, e.Paper)
+		}
+	case *all:
+		if err := bench.RunAll(os.Stdout, p); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+	case *expID != "":
+		e, ok := bench.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		if err := bench.RunOne(os.Stdout, e, p); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

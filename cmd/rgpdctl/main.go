@@ -1,0 +1,142 @@
+// Command rgpdctl is the sysadmin tool: it validates PD-type declarations
+// and purpose declarations offline, and renders the Fig. 1 dataset.
+//
+//	rgpdctl types file.rgpd [-alias derived=stored ...]
+//	rgpdctl purposes file.purpose
+//	rgpdctl fig1
+//	rgpdctl fmt file.rgpd      # canonical formatting
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gdprdata"
+	"repro/internal/purpose"
+	"repro/internal/typedsl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "types":
+		err = cmdTypes(os.Args[2:])
+	case "purposes":
+		err = cmdPurposes(os.Args[2:])
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "fig1":
+		err = cmdFig1()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rgpdctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rgpdctl types <file.rgpd> [alias derived=stored ...]   validate type declarations
+  rgpdctl purposes <file.purpose>                        validate purpose declarations
+  rgpdctl fmt <file.rgpd>                                print canonical form
+  rgpdctl fig1                                           render the Figure 1 dataset`)
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func cmdTypes(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("types: need a file")
+	}
+	src, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	opts := typedsl.CompileOptions{FieldAliases: map[string]string{}}
+	for _, a := range args[1:] {
+		if from, to, ok := strings.Cut(a, "="); ok {
+			opts.FieldAliases[from] = to
+		}
+	}
+	schemas, err := typedsl.CompileSource(src, opts)
+	if err != nil {
+		return err
+	}
+	for _, sch := range schemas {
+		fmt.Printf("type %-16s fields=%d views=%d consents=%d ttl=%v sensitivity=%v origin=%v\n",
+			sch.Name, len(sch.Fields), len(sch.Views), len(sch.DefaultConsent),
+			sch.DefaultTTL, sch.Sensitivity, sch.Origin)
+		for _, f := range sch.Fields {
+			marker := ""
+			if f.Sensitive {
+				marker = "  [sensitive: stored separately]"
+			}
+			fmt.Printf("  field %-24s %v%s\n", f.Name, f.Type, marker)
+		}
+	}
+	fmt.Printf("ok: %d type(s) valid\n", len(schemas))
+	return nil
+}
+
+func cmdPurposes(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("purposes: need a file")
+	}
+	src, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	decls, err := purpose.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, d := range decls {
+		fmt.Printf("purpose %-20s basis=%v reads=%v produces=%q\n  %s\n",
+			d.Name, d.Basis, d.Reads, d.Produces, d.Description)
+	}
+	fmt.Printf("ok: %d purpose(s) valid\n", len(decls))
+	return nil
+}
+
+func cmdFmt(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("fmt: need a file")
+	}
+	src, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	decls, err := typedsl.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, d := range decls {
+		fmt.Print(typedsl.Format(d))
+	}
+	return nil
+}
+
+func cmdFig1() error {
+	if err := gdprdata.CheckShape(); err != nil {
+		return err
+	}
+	if err := gdprdata.RenderLeft(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return gdprdata.RenderRight(os.Stdout)
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "rgpdOS: GDPR
+// Enforcement By The Operating System" (Tchana et al., DSN 2023,
+// arXiv:2205.10929).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness in bench_test.go plus cmd/benchfig. EXPERIMENTS.md
+// records paper-claim vs measured for every reproduced artifact.
+package repro

@@ -1,0 +1,237 @@
+// Package audit is rgpdOS's processing log.
+//
+// The paper's right-of-access illustration (§4) requires that "the DED ...
+// logs every executed processing. This log is organized so that it can give
+// information about executed processings for each piece of PD." This package
+// provides that log: an append-only, hash-chained sequence of entries
+// indexed by subject and by PD, so a subject-access request can enumerate
+// exactly which purposes touched which of their data, and a tamper check
+// (Verify) can prove the history was not rewritten.
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Kind classifies an audit entry.
+type Kind int
+
+// Entry kinds covering the PD life cycle the paper tracks: collection,
+// processing, consent changes, erasure, plus enforcement denials and
+// purpose-mismatch alerts.
+const (
+	KindCollection Kind = iota + 1
+	KindProcessing
+	KindConsentChange
+	KindErasure
+	KindDenial
+	KindAlert
+	KindExport
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCollection:
+		return "collection"
+	case KindProcessing:
+		return "processing"
+	case KindConsentChange:
+		return "consent-change"
+	case KindErasure:
+		return "erasure"
+	case KindDenial:
+		return "denial"
+	case KindAlert:
+		return "alert"
+	case KindExport:
+		return "export"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Entry is one immutable audit record.
+type Entry struct {
+	Seq       uint64
+	Time      time.Time
+	Kind      Kind
+	Purpose   string
+	PDID      string
+	SubjectID string
+	// Outcome is "ok", "denied", or a short status.
+	Outcome string
+	// Detail carries free-form context (error text, field lists...).
+	Detail string
+	// PrevHash/Hash chain the log; Hash covers all fields plus PrevHash.
+	PrevHash [sha256.Size]byte
+	Hash     [sha256.Size]byte
+}
+
+// ErrChainBroken reports a failed integrity verification.
+var ErrChainBroken = errors.New("audit: hash chain broken")
+
+// Log is an append-only audit log. Safe for concurrent use.
+type Log struct {
+	clock simclock.Clock
+
+	mu        sync.RWMutex
+	entries   []Entry
+	bySubject map[string][]int
+	byPD      map[string][]int
+}
+
+// NewLog returns an empty log using clock for timestamps.
+func NewLog(clock simclock.Clock) *Log {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Log{
+		clock:     clock,
+		bySubject: make(map[string][]int),
+		byPD:      make(map[string][]int),
+	}
+}
+
+// hashEntry computes the chained hash of e (Hash field excluded).
+func hashEntry(e *Entry) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], e.Seq)
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(e.Time.UnixNano()))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(e.Kind))
+	_, _ = h.Write(buf[:])
+	for _, s := range []string{e.Purpose, e.PDID, e.SubjectID, e.Outcome, e.Detail} {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		_, _ = h.Write(buf[:])
+		_, _ = h.Write([]byte(s))
+	}
+	_, _ = h.Write(e.PrevHash[:])
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Append records a new entry, filling Seq, Time and the hash chain. It
+// returns the completed entry.
+func (l *Log) Append(kind Kind, purpose, pdid, subjectID, outcome, detail string) Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{
+		Seq:       uint64(len(l.entries) + 1),
+		Time:      l.clock.Now(),
+		Kind:      kind,
+		Purpose:   purpose,
+		PDID:      pdid,
+		SubjectID: subjectID,
+		Outcome:   outcome,
+		Detail:    detail,
+	}
+	if n := len(l.entries); n > 0 {
+		e.PrevHash = l.entries[n-1].Hash
+	}
+	e.Hash = hashEntry(&e)
+	idx := len(l.entries)
+	l.entries = append(l.entries, e)
+	if subjectID != "" {
+		l.bySubject[subjectID] = append(l.bySubject[subjectID], idx)
+	}
+	if pdid != "" {
+		l.byPD[pdid] = append(l.byPD[pdid], idx)
+	}
+	return e
+}
+
+// Len reports the number of entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// All returns a copy of every entry in order.
+func (l *Log) All() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// BySubject returns the entries touching the given subject, in order. This
+// is the query behind the right of access.
+func (l *Log) BySubject(subjectID string) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	idxs := l.bySubject[subjectID]
+	out := make([]Entry, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.entries[i])
+	}
+	return out
+}
+
+// ByPD returns the entries touching one piece of PD, in order — "information
+// about executed processings for each piece of PD" (§4).
+func (l *Log) ByPD(pdid string) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	idxs := l.byPD[pdid]
+	out := make([]Entry, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.entries[i])
+	}
+	return out
+}
+
+// Verify walks the hash chain and returns ErrChainBroken (with position
+// detail) if any entry was altered or reordered.
+func (l *Log) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev [sha256.Size]byte
+	for i := range l.entries {
+		e := &l.entries[i]
+		if e.PrevHash != prev {
+			return fmt.Errorf("%w: entry %d prev-hash mismatch", ErrChainBroken, e.Seq)
+		}
+		if hashEntry(e) != e.Hash {
+			return fmt.Errorf("%w: entry %d content hash mismatch", ErrChainBroken, e.Seq)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// CountByKind tallies entries per kind (used by experiment reports).
+func (l *Log) CountByKind() map[Kind]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[Kind]int)
+	for i := range l.entries {
+		out[l.entries[i].Kind]++
+	}
+	return out
+}
+
+// Tamper mutates entry seq's detail WITHOUT re-hashing. It exists only so
+// tests and the integrity experiment can demonstrate that Verify catches
+// rewrites; production code has no path to it.
+func (l *Log) Tamper(seq uint64, newDetail string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq == 0 || int(seq) > len(l.entries) {
+		return false
+	}
+	l.entries[seq-1].Detail = newDetail
+	return true
+}

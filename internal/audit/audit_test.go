@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func newLog() (*Log, *simclock.Sim) {
+	clk := simclock.NewSim(simclock.Epoch)
+	return NewLog(clk), clk
+}
+
+func TestAppendFillsChain(t *testing.T) {
+	l, clk := newLog()
+	e1 := l.Append(KindCollection, "", "user/alice/1", "alice", "ok", "web_form")
+	clk.Advance(time.Minute)
+	e2 := l.Append(KindProcessing, "purpose3", "user/alice/1", "alice", "ok", "compute_age")
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", e1.Seq, e2.Seq)
+	}
+	if e2.PrevHash != e1.Hash {
+		t.Fatal("chain not linked")
+	}
+	if !e2.Time.After(e1.Time) {
+		t.Fatal("timestamps not ordered")
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsTamper(t *testing.T) {
+	l, _ := newLog()
+	l.Append(KindProcessing, "p", "pd", "s", "ok", "original")
+	l.Append(KindProcessing, "p", "pd", "s", "ok", "second")
+	if !l.Tamper(1, "rewritten history") {
+		t.Fatal("Tamper refused valid seq")
+	}
+	if err := l.Verify(); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("Verify after tamper = %v, want ErrChainBroken", err)
+	}
+	if l.Tamper(0, "x") || l.Tamper(99, "x") {
+		t.Fatal("Tamper accepted bad seq")
+	}
+}
+
+func TestQueriesBySubjectAndPD(t *testing.T) {
+	l, _ := newLog()
+	l.Append(KindProcessing, "p1", "user/alice/1", "alice", "ok", "")
+	l.Append(KindProcessing, "p2", "user/bob/1", "bob", "ok", "")
+	l.Append(KindConsentChange, "p1", "user/alice/1", "alice", "ok", "withdraw")
+	l.Append(KindProcessing, "p1", "user/alice/2", "alice", "denied", "")
+
+	alice := l.BySubject("alice")
+	if len(alice) != 3 {
+		t.Fatalf("BySubject(alice) = %d entries, want 3", len(alice))
+	}
+	for i := 1; i < len(alice); i++ {
+		if alice[i].Seq <= alice[i-1].Seq {
+			t.Fatal("BySubject not in order")
+		}
+	}
+	pd := l.ByPD("user/alice/1")
+	if len(pd) != 2 {
+		t.Fatalf("ByPD = %d entries, want 2", len(pd))
+	}
+	if got := l.BySubject("nobody"); len(got) != 0 {
+		t.Fatalf("BySubject(nobody) = %v", got)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	l, _ := newLog()
+	l.Append(KindAlert, "", "", "", "raised", "purpose mismatch")
+	all := l.All()
+	all[0].Detail = "mutated"
+	if l.All()[0].Detail != "purpose mismatch" {
+		t.Fatal("All exposed internal storage")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	l, _ := newLog()
+	l.Append(KindProcessing, "p", "pd", "s", "ok", "")
+	l.Append(KindProcessing, "p", "pd", "s", "ok", "")
+	l.Append(KindErasure, "", "pd", "s", "ok", "")
+	got := l.CountByKind()
+	if got[KindProcessing] != 2 || got[KindErasure] != 1 {
+		t.Fatalf("CountByKind = %v", got)
+	}
+}
+
+func TestEmptyLogVerifies(t *testing.T) {
+	l, _ := newLog()
+	if err := l.Verify(); err != nil {
+		t.Fatalf("empty Verify: %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestNilClockDefaultsToReal(t *testing.T) {
+	l := NewLog(nil)
+	e := l.Append(KindExport, "", "", "s", "ok", "")
+	if e.Time.IsZero() {
+		t.Fatal("real clock produced zero time")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l, _ := newLog()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Append(KindProcessing, "p", "pd", "s", "ok", "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", l.Len())
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify after concurrent appends: %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		KindCollection: "collection", KindProcessing: "processing",
+		KindConsentChange: "consent-change", KindErasure: "erasure",
+		KindDenial: "denial", KindAlert: "alert", KindExport: "export",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

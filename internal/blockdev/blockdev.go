@@ -1,0 +1,299 @@
+// Package blockdev simulates the block storage hardware under rgpdOS.
+//
+// The paper's prototype targets real disks through uFS; this reproduction has
+// no kernel or device access, so the device is simulated: a flat array of
+// fixed-size blocks with an accounting latency model (simulated nanoseconds
+// are counted, never slept) and optional fault injection. Everything above —
+// the inode layer, the traditional file-based filesystem, and DBFS — performs
+// I/O exclusively through this interface, which is also how the purpose-kernel
+// model routes device access through dedicated IO-driver kernels.
+//
+// The device deliberately exposes its raw contents (ReadRaw) because the
+// journal-leak experiment (DESIGN.md F2V1) must scan a disk image for
+// residues of "deleted" personal data, exactly as a forensic tool would.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// BlockSize is the size of every device block in bytes. 4 KiB matches the
+// page-sized blocks used by uFS and ext4.
+const BlockSize = 4096
+
+// Sentinel errors returned by devices.
+var (
+	// ErrOutOfRange reports an access beyond the end of the device.
+	ErrOutOfRange = errors.New("blockdev: block number out of range")
+	// ErrBadSize reports a buffer whose length is not exactly BlockSize.
+	ErrBadSize = errors.New("blockdev: buffer must be exactly one block")
+	// ErrIO reports an injected device-level I/O failure.
+	ErrIO = errors.New("blockdev: injected I/O error")
+)
+
+// Stats aggregates the operation counters of a device. Latency is simulated
+// (accounted, not slept) so experiments can report device time without
+// making the test suite slow.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	Syncs        uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// SimLatency is the total simulated device time consumed.
+	SimLatency time.Duration
+}
+
+// LatencyModel assigns simulated costs to device operations. The defaults
+// (see DefaultLatency) approximate a datacenter NVMe device; experiments
+// sweep these to model slower media.
+type LatencyModel struct {
+	ReadCost  time.Duration // per block read
+	WriteCost time.Duration // per block write
+	SyncCost  time.Duration // per sync barrier
+}
+
+// DefaultLatency approximates NVMe flash: 10us reads, 20us writes, 50us
+// flush barriers.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		ReadCost:  10 * time.Microsecond,
+		WriteCost: 20 * time.Microsecond,
+		SyncCost:  50 * time.Microsecond,
+	}
+}
+
+// Device is the block storage abstraction all filesystems in this repo sit
+// on. Implementations must be safe for concurrent use.
+type Device interface {
+	// ReadBlock copies block n into buf (len(buf) must be BlockSize).
+	ReadBlock(n uint64, buf []byte) error
+	// WriteBlock replaces block n with data (len(data) must be BlockSize).
+	WriteBlock(n uint64, data []byte) error
+	// NumBlocks reports the device capacity in blocks.
+	NumBlocks() uint64
+	// Sync flushes device caches; on the simulated device it is a barrier
+	// that only advances counters.
+	Sync() error
+	// Stats returns a snapshot of the device counters.
+	Stats() Stats
+}
+
+// Mem is an in-memory simulated Device.
+type Mem struct {
+	mu      sync.RWMutex
+	blocks  []byte
+	nblocks uint64
+	lat     LatencyModel
+	stats   Stats
+}
+
+var _ Device = (*Mem)(nil)
+
+// NewMem returns an in-memory device with n blocks and the given latency
+// model. It returns an error if n is zero.
+func NewMem(n uint64, lat LatencyModel) (*Mem, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("blockdev: device must have at least one block")
+	}
+	return &Mem{
+		blocks:  make([]byte, n*BlockSize),
+		nblocks: n,
+		lat:     lat,
+	}, nil
+}
+
+// MustMem is NewMem for tests and examples where the size is a constant.
+// It panics on error.
+func MustMem(n uint64) *Mem {
+	d, err := NewMem(n, DefaultLatency())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ReadBlock implements Device.
+func (m *Mem) ReadBlock(n uint64, buf []byte) error {
+	if len(buf) != BlockSize {
+		return ErrBadSize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n >= m.nblocks {
+		return fmt.Errorf("%w: read block %d of %d", ErrOutOfRange, n, m.nblocks)
+	}
+	copy(buf, m.blocks[n*BlockSize:(n+1)*BlockSize])
+	m.stats.Reads++
+	m.stats.BytesRead += BlockSize
+	m.stats.SimLatency += m.lat.ReadCost
+	return nil
+}
+
+// WriteBlock implements Device.
+func (m *Mem) WriteBlock(n uint64, data []byte) error {
+	if len(data) != BlockSize {
+		return ErrBadSize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n >= m.nblocks {
+		return fmt.Errorf("%w: write block %d of %d", ErrOutOfRange, n, m.nblocks)
+	}
+	copy(m.blocks[n*BlockSize:(n+1)*BlockSize], data)
+	m.stats.Writes++
+	m.stats.BytesWritten += BlockSize
+	m.stats.SimLatency += m.lat.WriteCost
+	return nil
+}
+
+// NumBlocks implements Device.
+func (m *Mem) NumBlocks() uint64 {
+	return m.nblocks
+}
+
+// Sync implements Device.
+func (m *Mem) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Syncs++
+	m.stats.SimLatency += m.lat.SyncCost
+	return nil
+}
+
+// Stats implements Device.
+func (m *Mem) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// ReadRaw copies the entire device image. It models pulling the disk out of
+// the machine: no filesystem, no access control. The residue-scanning
+// experiments use it to prove (or disprove) that deleted personal data is
+// still recoverable from raw media.
+func (m *Mem) ReadRaw() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]byte, len(m.blocks))
+	copy(out, m.blocks)
+	return out
+}
+
+// FindResidue scans the raw image of dev for every occurrence of pattern and
+// returns the block numbers that contain at least one match. A non-empty
+// result after a GDPR erasure is a right-to-be-forgotten violation.
+func FindResidue(dev *Mem, pattern []byte) []uint64 {
+	if len(pattern) == 0 {
+		return nil
+	}
+	img := dev.ReadRaw()
+	var hits []uint64
+	seen := make(map[uint64]bool)
+	for i := 0; i+len(pattern) <= len(img); i++ {
+		if img[i] != pattern[0] {
+			continue
+		}
+		match := true
+		for j := 1; j < len(pattern); j++ {
+			if img[i+j] != pattern[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			b := uint64(i) / BlockSize
+			if !seen[b] {
+				seen[b] = true
+				hits = append(hits, b)
+			}
+		}
+	}
+	return hits
+}
+
+// Faulty wraps a Device and injects deterministic faults: whole-operation
+// read errors and torn writes (only a prefix of the block is persisted).
+// Crash-consistency tests for the journaled filesystems use it.
+type Faulty struct {
+	mu sync.Mutex
+
+	dev Device
+	rng *xrand.RNG
+
+	readErrProb   float64
+	tornWriteProb float64
+
+	injectedReadErrs uint64
+	tornWrites       uint64
+}
+
+var _ Device = (*Faulty)(nil)
+
+// NewFaulty wraps dev with fault injection driven by rng. readErrProb and
+// tornWriteProb are per-operation probabilities in [0, 1].
+func NewFaulty(dev Device, rng *xrand.RNG, readErrProb, tornWriteProb float64) *Faulty {
+	return &Faulty{
+		dev:           dev,
+		rng:           rng,
+		readErrProb:   readErrProb,
+		tornWriteProb: tornWriteProb,
+	}
+}
+
+// ReadBlock implements Device, possibly failing with ErrIO.
+func (f *Faulty) ReadBlock(n uint64, buf []byte) error {
+	f.mu.Lock()
+	fail := f.rng.Bool(f.readErrProb)
+	if fail {
+		f.injectedReadErrs++
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: read block %d", ErrIO, n)
+	}
+	return f.dev.ReadBlock(n, buf)
+}
+
+// WriteBlock implements Device. A torn write persists only the first half of
+// the block and still reports success, modeling power loss mid-write.
+func (f *Faulty) WriteBlock(n uint64, data []byte) error {
+	f.mu.Lock()
+	torn := f.rng.Bool(f.tornWriteProb)
+	if torn {
+		f.tornWrites++
+	}
+	f.mu.Unlock()
+	if !torn {
+		return f.dev.WriteBlock(n, data)
+	}
+	old := make([]byte, BlockSize)
+	if err := f.dev.ReadBlock(n, old); err != nil {
+		return err
+	}
+	mixed := make([]byte, BlockSize)
+	copy(mixed, data[:BlockSize/2])
+	copy(mixed[BlockSize/2:], old[BlockSize/2:])
+	return f.dev.WriteBlock(n, mixed)
+}
+
+// NumBlocks implements Device.
+func (f *Faulty) NumBlocks() uint64 { return f.dev.NumBlocks() }
+
+// Sync implements Device.
+func (f *Faulty) Sync() error { return f.dev.Sync() }
+
+// Stats implements Device.
+func (f *Faulty) Stats() Stats { return f.dev.Stats() }
+
+// InjectedFaults reports how many read errors and torn writes were injected.
+func (f *Faulty) InjectedFaults() (readErrs, tornWrites uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injectedReadErrs, f.tornWrites
+}

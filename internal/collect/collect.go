@@ -1,0 +1,154 @@
+// Package collect implements rgpdOS's data collection interfaces.
+//
+// The membrane of every PD type names the interface to use for collection
+// (Listing 1's collection block: a web form for data gathered directly from
+// the subject, a third-party fetch script for data from another operator).
+// The acquisition builtin asks this package for the actual data; collection
+// is also where "rgpdOS requests the needed metadata to fill the membrane
+// with" (§2) — each source reports the provenance that seeds the membrane's
+// origin field, so every record enters DBFS correctly wrapped from the
+// first byte.
+//
+// Real deployments would render user_form.html or run fetch_data.py; the
+// reproduction simulates both: a web-form source fed by queued submissions
+// and a third-party source backed by a deterministic generator.
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dbfs"
+	"repro/internal/membrane"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSource reports an unregistered collection method.
+	ErrNoSource = errors.New("collect: no such collection source")
+	// ErrNoData reports a source with nothing (pending) for the subject.
+	ErrNoData = errors.New("collect: no data available for subject")
+)
+
+// Source is one collection interface.
+type Source interface {
+	// Method names the collection method ("web_form", "third_party").
+	Method() string
+	// Ref is the interface reference from the type declaration
+	// ("user_form.html", "fetch_data.py").
+	Ref() string
+	// Collect produces the subject's record and its provenance.
+	Collect(subjectID string) (dbfs.Record, membrane.Origin, error)
+}
+
+// WebFormSource simulates a web form: subjects submit their own data, which
+// queues until acquisition collects it. Origin is the subject.
+type WebFormSource struct {
+	ref string
+
+	mu      sync.Mutex
+	pending map[string]dbfs.Record
+}
+
+var _ Source = (*WebFormSource)(nil)
+
+// NewWebFormSource creates a form source with the given interface ref.
+func NewWebFormSource(ref string) *WebFormSource {
+	return &WebFormSource{ref: ref, pending: make(map[string]dbfs.Record)}
+}
+
+// Method implements Source.
+func (w *WebFormSource) Method() string { return "web_form" }
+
+// Ref implements Source.
+func (w *WebFormSource) Ref() string { return w.ref }
+
+// Submit queues a subject's form submission (the subject filling the form).
+func (w *WebFormSource) Submit(subjectID string, rec dbfs.Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending[subjectID] = rec.Clone()
+}
+
+// Collect implements Source: it consumes the queued submission.
+func (w *WebFormSource) Collect(subjectID string) (dbfs.Record, membrane.Origin, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec, ok := w.pending[subjectID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q via web form %s", ErrNoData, subjectID, w.ref)
+	}
+	delete(w.pending, subjectID)
+	return rec, membrane.OriginSubject, nil
+}
+
+// Pending reports how many submissions await collection.
+func (w *WebFormSource) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// ThirdPartySource simulates fetching from another data operator. Origin is
+// third_party, which the membrane records for traceability.
+type ThirdPartySource struct {
+	ref   string
+	fetch func(subjectID string) (dbfs.Record, error)
+}
+
+var _ Source = (*ThirdPartySource)(nil)
+
+// NewThirdPartySource creates a third-party source with a fetch function
+// (the stand-in for fetch_data.py).
+func NewThirdPartySource(ref string, fetch func(subjectID string) (dbfs.Record, error)) *ThirdPartySource {
+	return &ThirdPartySource{ref: ref, fetch: fetch}
+}
+
+// Method implements Source.
+func (t *ThirdPartySource) Method() string { return "third_party" }
+
+// Ref implements Source.
+func (t *ThirdPartySource) Ref() string { return t.ref }
+
+// Collect implements Source.
+func (t *ThirdPartySource) Collect(subjectID string) (dbfs.Record, membrane.Origin, error) {
+	rec, err := t.fetch(subjectID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %q via %s: %v", ErrNoData, subjectID, t.ref, err)
+	}
+	return rec, membrane.OriginThirdParty, nil
+}
+
+// Registry maps collection methods to sources, per PD type.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string]map[string]Source // typeName -> method -> source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]map[string]Source)}
+}
+
+// Register attaches a source to (typeName, source.Method()).
+func (r *Registry) Register(typeName string, src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byMethod, ok := r.sources[typeName]
+	if !ok {
+		byMethod = make(map[string]Source)
+		r.sources[typeName] = byMethod
+	}
+	byMethod[src.Method()] = src
+}
+
+// Lookup resolves the source for (typeName, method).
+func (r *Registry) Lookup(typeName, method string) (Source, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if src, ok := r.sources[typeName][method]; ok {
+		return src, nil
+	}
+	return nil, fmt.Errorf("%w: %s via %q", ErrNoSource, typeName, method)
+}

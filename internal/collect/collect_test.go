@@ -1,0 +1,101 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dbfs"
+	"repro/internal/membrane"
+)
+
+func TestWebFormLifecycle(t *testing.T) {
+	w := NewWebFormSource("user_form.html")
+	if w.Method() != "web_form" || w.Ref() != "user_form.html" {
+		t.Fatalf("identity = %q %q", w.Method(), w.Ref())
+	}
+	// Nothing queued yet.
+	if _, _, err := w.Collect("alice"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty Collect err = %v", err)
+	}
+	w.Submit("alice", dbfs.Record{"name": dbfs.S("Alice")})
+	if w.Pending() != 1 {
+		t.Fatalf("Pending = %d", w.Pending())
+	}
+	rec, origin, err := w.Collect("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != membrane.OriginSubject {
+		t.Fatalf("origin = %v, want subject", origin)
+	}
+	if rec["name"].S != "Alice" {
+		t.Fatalf("rec = %v", rec)
+	}
+	// Consumed: second collect finds nothing.
+	if _, _, err := w.Collect("alice"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("re-Collect err = %v", err)
+	}
+}
+
+func TestWebFormCopiesRecord(t *testing.T) {
+	w := NewWebFormSource("f.html")
+	rec := dbfs.Record{"name": dbfs.S("X")}
+	w.Submit("s", rec)
+	rec["name"] = dbfs.S("mutated")
+	got, _, err := w.Collect("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"].S != "X" {
+		t.Fatal("Submit did not copy the record")
+	}
+}
+
+func TestThirdPartySource(t *testing.T) {
+	tp := NewThirdPartySource("fetch_data.py", func(subjectID string) (dbfs.Record, error) {
+		if subjectID == "missing" {
+			return nil, fmt.Errorf("not in partner dataset")
+		}
+		return dbfs.Record{"name": dbfs.S("From partner: " + subjectID)}, nil
+	})
+	if tp.Method() != "third_party" {
+		t.Fatalf("Method = %q", tp.Method())
+	}
+	rec, origin, err := tp.Collect("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != membrane.OriginThirdParty {
+		t.Fatalf("origin = %v, want third_party (traceability)", origin)
+	}
+	if rec["name"].S != "From partner: bob" {
+		t.Fatalf("rec = %v", rec)
+	}
+	if _, _, err := tp.Collect("missing"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("missing Collect err = %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	w := NewWebFormSource("user_form.html")
+	tp := NewThirdPartySource("fetch_data.py", func(string) (dbfs.Record, error) { return dbfs.Record{}, nil })
+	r.Register("user", w)
+	r.Register("user", tp)
+
+	got, err := r.Lookup("user", "web_form")
+	if err != nil || got != Source(w) {
+		t.Fatalf("Lookup web_form = %v, %v", got, err)
+	}
+	got, err = r.Lookup("user", "third_party")
+	if err != nil || got != Source(tp) {
+		t.Fatalf("Lookup third_party = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("user", "carrier_pigeon"); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("unknown method err = %v", err)
+	}
+	if _, err := r.Lookup("ghost", "web_form"); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("unknown type err = %v", err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package core assembles the complete rgpdOS machine — the paper's
+// contribution as a bootable system.
+//
+// Boot builds the purpose-kernel topology of §2: two IO-driver kernels (one
+// per simulated disk), the general-purpose kernel with its traditional
+// filesystem for non-personal data, and the rgpdOS kernel hosting DBFS, the
+// Processing Store, the DED, the built-in processings, the collection
+// registry and the rights engine. CPU and memory are partitioned across the
+// sub-kernels; all personal-data IO crosses the bus to its driver kernel.
+//
+// The System type is the public API of the reproduction: examples, the
+// CLIs and the benchmark harness all program against it exactly as a data
+// operator would program against rgpdOS — declare types in the DSL, feed
+// collection sources, register purpose-annotated processings, ps_invoke
+// them, and serve data-subject rights.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/blockdev"
+	"repro/internal/builtins"
+	"repro/internal/collect"
+	"repro/internal/cryptoshred"
+	"repro/internal/dbfs"
+	"repro/internal/ded"
+	"repro/internal/inode"
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+	"repro/internal/membrane"
+	"repro/internal/plainfs"
+	"repro/internal/ps"
+	"repro/internal/rights"
+	"repro/internal/simclock"
+	"repro/internal/typedsl"
+)
+
+// Kernel names in the machine topology.
+const (
+	PDDriverKernel  = "io.pd0"
+	NPDDriverKernel = "io.npd0"
+	GPKernel        = "gp"
+	RgpdOSKernel    = "rgpdos"
+)
+
+// Options configures Boot.
+type Options struct {
+	// PDDiskBlocks / NPDDiskBlocks size the two simulated disks.
+	PDDiskBlocks  uint64
+	NPDDiskBlocks uint64
+	// NInodes and JournalBlocks shape both filesystems.
+	NInodes       uint64
+	JournalBlocks uint64
+	// Clock drives membranes, audit and TTLs. Defaults to a Sim clock at
+	// the epoch so runs are reproducible.
+	Clock simclock.Clock
+	// AuthorityBits sizes the escrow keypair (default 2048; tests use
+	// 1024).
+	AuthorityBits int
+	// Machine sets the kernel topology resources and IPC costs.
+	Machine kernel.MachineOptions
+	// DirectIO bypasses the IO-driver kernels (monolithic ablation, OV3).
+	DirectIO bool
+}
+
+func (o *Options) withDefaults() {
+	if o.PDDiskBlocks == 0 {
+		o.PDDiskBlocks = 16384
+	}
+	if o.NPDDiskBlocks == 0 {
+		o.NPDDiskBlocks = 4096
+	}
+	if o.NInodes == 0 {
+		o.NInodes = 8192
+	}
+	if o.JournalBlocks == 0 {
+		o.JournalBlocks = 256
+	}
+	if o.Clock == nil {
+		o.Clock = simclock.NewSim(simclock.Epoch)
+	}
+	if o.AuthorityBits == 0 {
+		o.AuthorityBits = 2048
+	}
+	if o.Machine.CPUs == 0 {
+		o.Machine = kernel.DefaultMachineOptions()
+	}
+}
+
+// System is a booted rgpdOS machine.
+type System struct {
+	opts Options
+
+	machine   *kernel.Machine
+	guard     *lsm.Guard
+	authority *cryptoshred.Authority
+	vault     *cryptoshred.Vault
+
+	pdDev  *blockdev.Mem
+	npdDev *blockdev.Mem
+
+	pdFS  *inode.FS
+	npdFS *plainfs.FS
+	store *dbfs.Store
+
+	log     *audit.Log
+	ded     *ded.DED
+	ps      *ps.Store
+	rights  *rights.Engine
+	sources *collect.Registry
+	acq     *builtins.Acquirer
+}
+
+// Boot assembles and starts a machine.
+func Boot(opts Options) (*System, error) {
+	opts.withDefaults()
+	s := &System{opts: opts}
+
+	// Purpose-kernel topology.
+	s.machine = kernel.NewMachine(opts.Machine)
+	var err error
+	if s.pdDev, err = blockdev.NewMem(opts.PDDiskBlocks, blockdev.DefaultLatency()); err != nil {
+		return nil, fmt.Errorf("core: pd disk: %w", err)
+	}
+	if s.npdDev, err = blockdev.NewMem(opts.NPDDiskBlocks, blockdev.DefaultLatency()); err != nil {
+		return nil, fmt.Errorf("core: npd disk: %w", err)
+	}
+	if _, err = kernel.NewBlockDriverKernel(s.machine.Bus, PDDriverKernel, s.pdDev); err != nil {
+		return nil, fmt.Errorf("core: pd driver: %w", err)
+	}
+	if _, err = kernel.NewBlockDriverKernel(s.machine.Bus, NPDDriverKernel, s.npdDev); err != nil {
+		return nil, fmt.Errorf("core: npd driver: %w", err)
+	}
+	for _, k := range []struct {
+		name  string
+		class kernel.Class
+	}{
+		{PDDriverKernel, kernel.ClassIODriver},
+		{NPDDriverKernel, kernel.ClassIODriver},
+		{GPKernel, kernel.ClassGeneralPurpose},
+		{RgpdOSKernel, kernel.ClassGDPR},
+	} {
+		if err := s.machine.AddKernel(k.name, k.class); err != nil {
+			return nil, fmt.Errorf("core: topology: %w", err)
+		}
+	}
+	// Initial partition: rgpdOS gets the PD-processing share, the GP
+	// kernel the bulk of the rest, drivers a sliver each. Rebalance at
+	// runtime via Machine.Partition.
+	cpus, pages := opts.Machine.CPUs, opts.Machine.MemPages
+	assign := []struct {
+		name  string
+		cpu   float64
+		pages uint64
+	}{
+		{GPKernel, cpus * 0.4, pages * 4 / 10},
+		{PDDriverKernel, cpus * 0.1, pages / 10},
+		{NPDDriverKernel, cpus * 0.1, pages / 10},
+	}
+	usedCPU, usedPages := 0.0, uint64(0)
+	for _, a := range assign {
+		if err := s.machine.Partition.Assign(a.name, a.cpu, a.pages); err != nil {
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		usedCPU += a.cpu
+		usedPages += a.pages
+	}
+	// rgpdOS takes the exact remainder so the machine is fully partitioned
+	// regardless of integer/float rounding.
+	if err := s.machine.Partition.Assign(RgpdOSKernel, cpus-usedCPU, pages-usedPages); err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+
+	// Device views: PD IO crosses the bus to its driver kernel unless the
+	// monolithic ablation is requested.
+	var pdView, npdView blockdev.Device = s.pdDev, s.npdDev
+	if !opts.DirectIO {
+		if pdView, err = kernel.NewRemoteDevice(s.machine.Bus, RgpdOSKernel, PDDriverKernel); err != nil {
+			return nil, fmt.Errorf("core: pd remote device: %w", err)
+		}
+		if npdView, err = kernel.NewRemoteDevice(s.machine.Bus, GPKernel, NPDDriverKernel); err != nil {
+			return nil, fmt.Errorf("core: npd remote device: %w", err)
+		}
+	}
+
+	// Security substrate.
+	s.guard = lsm.NewGuard()
+	if s.authority, err = cryptoshred.NewAuthority(opts.AuthorityBits); err != nil {
+		return nil, fmt.Errorf("core: authority: %w", err)
+	}
+	s.vault = cryptoshred.NewVault(s.authority.PublicKey())
+
+	// Filesystems.
+	if s.pdFS, err = inode.Format(pdView, inode.Options{
+		NInodes: opts.NInodes, JournalBlocks: opts.JournalBlocks, Clock: opts.Clock,
+	}); err != nil {
+		return nil, fmt.Errorf("core: pd filesystem: %w", err)
+	}
+	if s.store, err = dbfs.Create(s.pdFS, s.guard, s.vault, opts.Clock); err != nil {
+		return nil, fmt.Errorf("core: dbfs: %w", err)
+	}
+	if s.npdFS, err = plainfs.Format(npdView, inode.Options{
+		NInodes: opts.NInodes / 2, JournalBlocks: opts.JournalBlocks, Clock: opts.Clock,
+	}); err != nil {
+		return nil, fmt.Errorf("core: npd filesystem: %w", err)
+	}
+
+	// rgpdOS components.
+	s.log = audit.NewLog(opts.Clock)
+	dedTok := s.guard.Mint("ded", lsm.CapDBFS)
+	s.ded = ded.New(s.store, dedTok, s.log, membrane.NewLedger(), opts.Clock)
+	s.sources = collect.NewRegistry()
+	s.acq = builtins.NewAcquirer(s.ded, s.sources, s.log)
+	s.ps = ps.New(s.ded, s.log, s.acq.Acquire)
+	if err := builtins.Register(s.ps); err != nil {
+		return nil, fmt.Errorf("core: builtins: %w", err)
+	}
+	s.rights = rights.New(s.ps, s.ded, s.log, opts.Clock)
+	return s, nil
+}
+
+// MustBoot is Boot for examples and benchmarks; it panics on error.
+func MustBoot(opts Options) *System {
+	s, err := Boot(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// --- component accessors ---
+
+// PS is the Processing Store — the only rgpdOS entry point for
+// applications.
+func (s *System) PS() *ps.Store { return s.ps }
+
+// Rights is the data-subject rights engine.
+func (s *System) Rights() *rights.Engine { return s.rights }
+
+// Audit is the processing log.
+func (s *System) Audit() *audit.Log { return s.log }
+
+// Machine exposes the purpose-kernel topology (partition, bus stats).
+func (s *System) Machine() *kernel.Machine { return s.machine }
+
+// Guard exposes the LSM guard (denial records; experiments mint attacker
+// tokens against it).
+func (s *System) Guard() *lsm.Guard { return s.guard }
+
+// Authority is the escrow authority (held off-machine in a real
+// deployment; exposed here so experiments can play the investigator).
+func (s *System) Authority() *cryptoshred.Authority { return s.authority }
+
+// Vault exposes the key vault (escrow lookups).
+func (s *System) Vault() *cryptoshred.Vault { return s.vault }
+
+// NPD is the general-purpose kernel's traditional filesystem, open to any
+// process — the second filesystem of §2.
+func (s *System) NPD() *plainfs.FS { return s.npdFS }
+
+// DBFS exposes the personal-data store. Callers still need the DED's
+// capability token for every operation, so this accessor grants nothing by
+// itself; kernel-space components (rights, benches) use it together with
+// DEDToken.
+func (s *System) DBFS() *dbfs.Store { return s.store }
+
+// DEDToken returns the DED's DBFS capability for kernel-space callers
+// (experiments seeding state). Application code must never hold it.
+func (s *System) DEDToken() *lsm.Token { return s.ded.Token() }
+
+// Clock returns the machine clock.
+func (s *System) Clock() simclock.Clock { return s.opts.Clock }
+
+// SimClock returns the clock as a *simclock.Sim when the machine was booted
+// with one (the default), for TTL experiments.
+func (s *System) SimClock() (*simclock.Sim, bool) {
+	sim, ok := s.opts.Clock.(*simclock.Sim)
+	return sim, ok
+}
+
+// --- sysadmin operations ---
+
+// DeclareTypesDSL compiles Listing-1-style declarations and creates the
+// types in DBFS.
+func (s *System) DeclareTypesDSL(src string, copts typedsl.CompileOptions) error {
+	schemas, err := typedsl.CompileSource(src, copts)
+	if err != nil {
+		return err
+	}
+	for _, sch := range schemas {
+		if err := s.store.CreateType(s.ded.Token(), sch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateType declares a PD type from an in-memory schema.
+func (s *System) CreateType(sch *dbfs.Schema) error {
+	return s.store.CreateType(s.ded.Token(), sch)
+}
+
+// RegisterSource attaches a collection source to a PD type.
+func (s *System) RegisterSource(typeName string, src collect.Source) {
+	s.sources.Register(typeName, src)
+}
+
+// Acquire runs the acquisition builtin: collect subjects' data of typeName
+// through method and store it membrane-wrapped.
+func (s *System) Acquire(typeName, method string, subjects []string) (int, error) {
+	return s.acq.Acquire(typeName, method, subjects)
+}
+
+// ResidueScan scans the raw PD disk for a plaintext pattern. Zero hits
+// after an erasure is the right-to-be-forgotten guarantee.
+func (s *System) ResidueScan(pattern []byte) []uint64 {
+	return blockdev.FindResidue(s.pdDev, pattern)
+}
+
+// NPDResidueScan scans the raw NPD disk.
+func (s *System) NPDResidueScan(pattern []byte) []uint64 {
+	return blockdev.FindResidue(s.npdDev, pattern)
+}
+
+// Stats aggregates machine-wide counters.
+type Stats struct {
+	DBFS    dbfs.Stats
+	Bus     kernel.BusStats
+	PDDisk  blockdev.Stats
+	NPDDisk blockdev.Stats
+	Audit   int
+	Denials int
+}
+
+// Stats returns a snapshot across components.
+func (s *System) Stats() Stats {
+	return Stats{
+		DBFS:    s.store.Stats(),
+		Bus:     s.machine.Bus.Stats(),
+		PDDisk:  s.pdDev.Stats(),
+		NPDDisk: s.npdDev.Stats(),
+		Audit:   s.log.Len(),
+		Denials: s.guard.DenialCount(),
+	}
+}
+
+// ErrNoFormSource reports SubmitForm on a type without a web form.
+var ErrNoFormSource = errors.New("core: type has no web form source")
+
+// SubmitForm queues a subject's web-form submission for the type.
+func (s *System) SubmitForm(typeName, subjectID string, rec dbfs.Record) error {
+	src, err := s.sources.Lookup(typeName, "web_form")
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNoFormSource, typeName)
+	}
+	form, ok := src.(*collect.WebFormSource)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoFormSource, typeName)
+	}
+	form.Submit(subjectID, rec)
+	return nil
+}

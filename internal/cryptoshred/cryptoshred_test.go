@@ -1,0 +1,247 @@
+package cryptoshred
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// testAuthority is shared across tests: RSA keygen dominates test time, so
+// generate once.
+var (
+	authOnce sync.Once
+	auth     *Authority
+)
+
+func testAuth(t *testing.T) *Authority {
+	t.Helper()
+	authOnce.Do(func() {
+		a, err := NewAuthority(1024)
+		if err != nil {
+			t.Fatalf("NewAuthority: %v", err)
+		}
+		auth = a
+	})
+	return auth
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	pt := []byte(`{"name":"Chiraz","year_of_birthdate":1990}`)
+	ct, err := v.Seal("user/chiraz/1", pt)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if bytes.Contains(ct, []byte("Chiraz")) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	got, err := v.Open("user/chiraz/1", ct)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPerPDKeysAreIndependent(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	ct, err := v.Seal("pd-a", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening under a pdid that has no key fails with ErrNoKey — and Open
+	// must not mint a key as a side effect.
+	if _, err := v.Open("pd-b", ct); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("cross-PD Open err = %v, want ErrNoKey", err)
+	}
+	if v.LiveKeys() != 1 {
+		t.Fatalf("LiveKeys = %d, want 1 (Open must not mint)", v.LiveKeys())
+	}
+	// Even once pd-b has its own key, pd-a ciphertext stays unreadable
+	// under it: keys and AAD are per PD.
+	if _, err := v.Seal("pd-b", []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("pd-b", ct); !errors.Is(err, ErrCiphertext) {
+		t.Fatalf("wrong-key Open err = %v, want ErrCiphertext", err)
+	}
+	if !v.HasKey("pd-a") || !v.HasKey("pd-b") || v.LiveKeys() != 2 {
+		t.Fatal("key bookkeeping wrong")
+	}
+}
+
+func TestOpenWithoutKey(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	if _, err := v.Open("ghost", []byte("x")); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("Open without key err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	ct, err := v.Seal("pd", []byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)-1] ^= 0xFF
+	if _, err := v.Open("pd", ct); !errors.Is(err, ErrCiphertext) {
+		t.Fatalf("tampered Open err = %v, want ErrCiphertext", err)
+	}
+	if _, err := v.Open("pd", []byte{1, 2}); !errors.Is(err, ErrCiphertext) {
+		t.Fatalf("short Open err = %v, want ErrCiphertext", err)
+	}
+}
+
+func TestShredDestroysOperatorAccess(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	pt := []byte("to be forgotten")
+	ct, err := v.Seal("pd", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.Shred("pd")
+	if err != nil {
+		t.Fatalf("Shred: %v", err)
+	}
+	if rec.PDID != "pd" || len(rec.WrappedKey) == 0 || rec.Ref == "" {
+		t.Fatalf("escrow record = %+v", rec)
+	}
+	// Operator: locked out.
+	if _, err := v.Open("pd", ct); !errors.Is(err, ErrKeyDestroyed) {
+		t.Fatalf("post-shred Open err = %v, want ErrKeyDestroyed", err)
+	}
+	if _, err := v.Seal("pd", pt); !errors.Is(err, ErrKeyDestroyed) {
+		t.Fatalf("post-shred Seal err = %v, want ErrKeyDestroyed", err)
+	}
+	if v.HasKey("pd") || !v.Destroyed("pd") {
+		t.Fatal("key state inconsistent after shred")
+	}
+}
+
+func TestAuthorityRecovers(t *testing.T) {
+	a := testAuth(t)
+	v := NewVault(a.PublicKey())
+	pt := []byte("evidence for the investigation")
+	ct, err := v.Seal("pd", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.Shred("pd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Recover(rec, ct)
+	if err != nil {
+		t.Fatalf("Authority.Recover: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("authority recovered wrong plaintext")
+	}
+}
+
+func TestRecoverRejectsWrongAuthority(t *testing.T) {
+	a := testAuth(t)
+	other, err := NewAuthority(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVault(a.PublicKey())
+	ct, err := v.Seal("pd", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.Shred("pd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Recover(rec, ct); err == nil {
+		t.Fatal("wrong authority recovered the key")
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	if _, err := v.Shred("never-sealed"); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("Shred unknown err = %v, want ErrNoKey", err)
+	}
+	if _, err := v.Seal("pd", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Shred("pd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Shred("pd"); !errors.Is(err, ErrKeyDestroyed) {
+		t.Fatalf("double Shred err = %v, want ErrKeyDestroyed", err)
+	}
+}
+
+func TestEscrowLookup(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	if _, err := v.Seal("pd", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.Shred("pd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Escrow(rec.Ref)
+	if err != nil || got.PDID != "pd" {
+		t.Fatalf("Escrow = %+v, %v", got, err)
+	}
+	if _, err := v.Escrow("escrow-999"); !errors.Is(err, ErrNoEscrow) {
+		t.Fatalf("missing escrow err = %v, want ErrNoEscrow", err)
+	}
+}
+
+func TestNewAuthorityRejectsWeakKeys(t *testing.T) {
+	if _, err := NewAuthority(512); err == nil {
+		t.Fatal("NewAuthority accepted 512-bit key")
+	}
+}
+
+func TestSealFreshNoncePerCall(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	a, err := v.Seal("pd", []byte("same plaintext"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Seal("pd", []byte("same plaintext"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext are identical (nonce reuse)")
+	}
+}
+
+func TestConcurrentSealOpen(t *testing.T) {
+	v := NewVault(testAuth(t).PublicKey())
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pdid := "pd-" + string(rune('a'+w))
+			for i := 0; i < 20; i++ {
+				ct, err := v.Seal(pdid, []byte{byte(i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				pt, err := v.Open(pdid, ct)
+				if err != nil || pt[0] != byte(i) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent seal/open: %v", err)
+	}
+}

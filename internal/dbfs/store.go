@@ -1,0 +1,921 @@
+package dbfs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cryptoshred"
+	"repro/internal/inode"
+	"repro/internal/lsm"
+	"repro/internal/membrane"
+	"repro/internal/simclock"
+)
+
+// Tree and file names inside the DBFS inode layout.
+const (
+	schemaRootName  = "schema"
+	subjectRootName = "subjects"
+	formatRootName  = "format"
+
+	defFileName      = "def"
+	seqFileName      = "seq"
+	tableSubjectsDir = "subjects"
+
+	dataSuffix = ".data"
+	sensSuffix = ".sens"
+	memSuffix  = ".mem"
+
+	// sensKeySuffix derives the separate data key for sensitive fields.
+	sensKeySuffix = "#sens"
+)
+
+// Sentinel errors.
+var (
+	// ErrTypeExists reports CreateType over an existing type.
+	ErrTypeExists = errors.New("dbfs: type already exists")
+	// ErrNoType reports an operation on an undeclared type.
+	ErrNoType = errors.New("dbfs: no such type")
+	// ErrNoRecord reports an unknown pdid.
+	ErrNoRecord = errors.New("dbfs: no such record")
+	// ErrBadPDID reports a malformed pdid.
+	ErrBadPDID = errors.New("dbfs: malformed pdid")
+	// ErrNoMembrane reports a record missing its membrane — forbidden by
+	// enforcement rule 3; it can only arise from on-disk corruption.
+	ErrNoMembrane = errors.New("dbfs: record has no membrane")
+)
+
+// Stats counts DBFS activity for the experiment harness.
+type Stats struct {
+	TypesCreated   uint64
+	Inserts        uint64
+	Updates        uint64
+	DataReads      uint64
+	MembraneReads  uint64
+	MembraneWrites uint64
+	Erasures       uint64
+	Deletes        uint64
+}
+
+// formatEntry is one row of the format tree: the session-loaded descriptor
+// of how a type's record bytes are laid out (§3's "dedicated set of inodes
+// ... accessed only once ... during a given live session").
+type formatEntry struct {
+	Field     string    `json:"field"`
+	Type      FieldType `json:"type"`
+	Sensitive bool      `json:"sensitive,omitempty"`
+}
+
+// Store is the mounted DBFS. All methods demand an LSM token carrying
+// CapDBFS. Safe for concurrent use.
+type Store struct {
+	fs    *inode.FS
+	guard *lsm.Guard
+	vault *cryptoshred.Vault
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	schemas map[string]*Schema
+	formats map[string][]formatEntry
+	seqs    map[string]uint64
+	stats   Stats
+
+	schemaRoot  inode.Ino
+	subjectRoot inode.Ino
+	formatRoot  inode.Ino
+}
+
+// Create formats the DBFS trees on a freshly formatted inode filesystem.
+func Create(fs *inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	s := &Store{
+		fs:      fs,
+		guard:   guard,
+		vault:   vault,
+		clock:   clock,
+		schemas: make(map[string]*Schema),
+		formats: make(map[string][]formatEntry),
+		seqs:    make(map[string]uint64),
+	}
+	for _, spec := range []struct {
+		name string
+		dst  *inode.Ino
+	}{
+		{schemaRootName, &s.schemaRoot},
+		{subjectRootName, &s.subjectRoot},
+		{formatRootName, &s.formatRoot},
+	} {
+		ino, err := fs.AllocInode(inode.ModeTree, spec.name+"-root")
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: create %s tree: %w", spec.name, err)
+		}
+		if err := fs.AddChild(inode.RootIno, spec.name, ino); err != nil {
+			return nil, fmt.Errorf("dbfs: link %s tree: %w", spec.name, err)
+		}
+		*spec.dst = ino
+	}
+	return s, nil
+}
+
+// Open mounts an existing DBFS: it resolves the three roots, then loads
+// every schema and the format descriptors (the once-per-session read).
+func Open(fs *inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	s := &Store{
+		fs:      fs,
+		guard:   guard,
+		vault:   vault,
+		clock:   clock,
+		schemas: make(map[string]*Schema),
+		formats: make(map[string][]formatEntry),
+		seqs:    make(map[string]uint64),
+	}
+	var err error
+	if s.schemaRoot, err = fs.Lookup(inode.RootIno, schemaRootName); err != nil {
+		return nil, fmt.Errorf("dbfs: open: %w", err)
+	}
+	if s.subjectRoot, err = fs.Lookup(inode.RootIno, subjectRootName); err != nil {
+		return nil, fmt.Errorf("dbfs: open: %w", err)
+	}
+	if s.formatRoot, err = fs.Lookup(inode.RootIno, formatRootName); err != nil {
+		return nil, fmt.Errorf("dbfs: open: %w", err)
+	}
+	tables, err := fs.Children(s.schemaRoot)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: open: list tables: %w", err)
+	}
+	for _, tb := range tables {
+		defIno, err := fs.Lookup(tb.Ino, defFileName)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
+		}
+		raw, err := readAll(fs, defIno)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
+		}
+		sch, err := DecodeSchema(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
+		}
+		s.schemas[sch.Name] = sch
+		seqIno, err := fs.Lookup(tb.Ino, seqFileName)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open table %q seq: %w", tb.Name, err)
+		}
+		seqRaw, err := readAll(fs, seqIno)
+		if err != nil || len(seqRaw) != 8 {
+			return nil, fmt.Errorf("dbfs: open table %q seq: %w", tb.Name, err)
+		}
+		s.seqs[sch.Name] = binary.LittleEndian.Uint64(seqRaw)
+	}
+	// Format descriptors: the single per-session read of the format tree.
+	fmts, err := fs.Children(s.formatRoot)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: open formats: %w", err)
+	}
+	for _, fe := range fmts {
+		raw, err := readAll(fs, fe.Ino)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open format %q: %w", fe.Name, err)
+		}
+		var entries []formatEntry
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return nil, fmt.Errorf("dbfs: decode format %q: %w", fe.Name, err)
+		}
+		s.formats[fe.Name] = entries
+	}
+	return s, nil
+}
+
+// readAll reads the full contents of a file inode.
+func readAll(fs *inode.FS, ino inode.Ino) ([]byte, error) {
+	info, err := fs.Stat(ino)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, info.Size)
+	if _, err := fs.ReadAt(ino, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFileInode creates a file inode with contents, tagged tag, linked
+// under parent as name.
+func (s *Store) writeFileInode(parent inode.Ino, name, tag string, contents []byte) (inode.Ino, error) {
+	ino, err := s.fs.AllocInode(inode.ModeFile, tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(contents) > 0 {
+		if _, err := s.fs.WriteAt(ino, 0, contents); err != nil {
+			_ = s.fs.FreeInode(ino)
+			return 0, err
+		}
+	}
+	if err := s.fs.AddChild(parent, name, ino); err != nil {
+		_ = s.fs.FreeInode(ino)
+		return 0, err
+	}
+	return ino, nil
+}
+
+// check mediates an access through the LSM guard.
+func (s *Store) check(tok *lsm.Token, op lsm.Operation, id string) error {
+	return s.guard.Check(tok, lsm.CapDBFS, op, lsm.ObjectRef{Class: "dbfs", ID: id})
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CreateType declares a new PD type: it validates the schema, creates the
+// table inodes in the schema tree, and records the format descriptor.
+func (s *Store) CreateType(tok *lsm.Token, sch *Schema) error {
+	if err := s.check(tok, lsm.OpCreate, "type/"+sch.Name); err != nil {
+		return err
+	}
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	if strings.ContainsRune(sch.Name, '/') {
+		return fmt.Errorf("%w: type name %q contains '/'", ErrBadSchema, sch.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.schemas[sch.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrTypeExists, sch.Name)
+	}
+	tb, err := s.fs.AllocInode(inode.ModeTree, "table:"+sch.Name)
+	if err != nil {
+		return fmt.Errorf("dbfs: create type %q: %w", sch.Name, err)
+	}
+	if err := s.fs.AddChild(s.schemaRoot, sch.Name, tb); err != nil {
+		return fmt.Errorf("dbfs: create type %q: %w", sch.Name, err)
+	}
+	raw, err := EncodeSchema(sch)
+	if err != nil {
+		return err
+	}
+	if _, err := s.writeFileInode(tb, defFileName, "schema-def", raw); err != nil {
+		return fmt.Errorf("dbfs: create type %q def: %w", sch.Name, err)
+	}
+	var seq [8]byte
+	if _, err := s.writeFileInode(tb, seqFileName, "schema-seq", seq[:]); err != nil {
+		return fmt.Errorf("dbfs: create type %q seq: %w", sch.Name, err)
+	}
+	subs, err := s.fs.AllocInode(inode.ModeTree, "table-subjects:"+sch.Name)
+	if err != nil {
+		return fmt.Errorf("dbfs: create type %q subjects: %w", sch.Name, err)
+	}
+	if err := s.fs.AddChild(tb, tableSubjectsDir, subs); err != nil {
+		return fmt.Errorf("dbfs: create type %q subjects: %w", sch.Name, err)
+	}
+	// Format descriptor.
+	entries := make([]formatEntry, 0, len(sch.Fields))
+	for _, f := range sch.Fields {
+		entries = append(entries, formatEntry{Field: f.Name, Type: f.Type, Sensitive: f.Sensitive})
+	}
+	fraw, err := json.Marshal(entries)
+	if err != nil {
+		return fmt.Errorf("dbfs: encode format %q: %w", sch.Name, err)
+	}
+	if _, err := s.writeFileInode(s.formatRoot, sch.Name, "format:"+sch.Name, fraw); err != nil {
+		return fmt.Errorf("dbfs: create format %q: %w", sch.Name, err)
+	}
+	s.schemas[sch.Name] = sch
+	s.formats[sch.Name] = entries
+	s.seqs[sch.Name] = 0
+	s.stats.TypesCreated++
+	return nil
+}
+
+// Types lists the declared type names, sorted.
+func (s *Store) Types(tok *lsm.Token) ([]string, error) {
+	if err := s.check(tok, lsm.OpScan, "types"); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.schemas))
+	for name := range s.schemas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SchemaOf returns the schema for a type.
+func (s *Store) SchemaOf(tok *lsm.Token, name string) (*Schema, error) {
+	if err := s.check(tok, lsm.OpRead, "type/"+name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sch, ok := s.schemas[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoType, name)
+	}
+	cp := *sch
+	return &cp, nil
+}
+
+// PDID formats the identifier of a record.
+func PDID(typeName, subjectID string, rec uint64) string {
+	return typeName + "/" + subjectID + "/" + strconv.FormatUint(rec, 10)
+}
+
+// SplitPDID parses a pdid into its components.
+func SplitPDID(pdid string) (typeName, subjectID string, rec uint64, err error) {
+	parts := strings.Split(pdid, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return "", "", 0, fmt.Errorf("%w: %q", ErrBadPDID, pdid)
+	}
+	n, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("%w: %q", ErrBadPDID, pdid)
+	}
+	return parts[0], parts[1], n, nil
+}
+
+// subjectTypeTree resolves (creating if create is set) the tree inode
+// holding subject's records of the given type, maintaining both major
+// trees: subjects/<subj>/<type> and schema/<type>/subjects/<subj>.
+// Caller holds s.mu.
+func (s *Store) subjectTypeTree(typeName, subjectID string, create bool) (inode.Ino, error) {
+	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		if !create {
+			return 0, fmt.Errorf("%w: subject %q", ErrNoRecord, subjectID)
+		}
+		subjIno, err = s.fs.AllocInode(inode.ModeTree, "subject:"+clipTag(subjectID))
+		if err != nil {
+			return 0, err
+		}
+		if err := s.fs.AddChild(s.subjectRoot, subjectID, subjIno); err != nil {
+			return 0, err
+		}
+	} else if err != nil {
+		return 0, err
+	}
+	tIno, err := s.fs.Lookup(subjIno, typeName)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		if !create {
+			return 0, fmt.Errorf("%w: subject %q has no %q records", ErrNoRecord, subjectID, typeName)
+		}
+		tIno, err = s.fs.AllocInode(inode.ModeTree, "records:"+clipTag(typeName))
+		if err != nil {
+			return 0, err
+		}
+		if err := s.fs.AddChild(subjIno, typeName, tIno); err != nil {
+			return 0, err
+		}
+		// Second major tree: link the subject's record tree from the
+		// table's subject list for fast per-table enumeration.
+		tb, err := s.fs.Lookup(s.schemaRoot, typeName)
+		if err != nil {
+			return 0, err
+		}
+		subs, err := s.fs.Lookup(tb, tableSubjectsDir)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.fs.AddChild(subs, subjectID, tIno); err != nil {
+			return 0, err
+		}
+	} else if err != nil {
+		return 0, err
+	}
+	return tIno, nil
+}
+
+func clipTag(s string) string {
+	const max = 60
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+// nextSeq increments and persists the per-type record counter.
+// Caller holds s.mu.
+func (s *Store) nextSeq(typeName string) (uint64, error) {
+	n := s.seqs[typeName] + 1
+	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
+	if err != nil {
+		return 0, err
+	}
+	seqIno, err := s.fs.Lookup(tb, seqFileName)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], n)
+	if _, err := s.fs.WriteAt(seqIno, 0, buf[:]); err != nil {
+		return 0, err
+	}
+	s.seqs[typeName] = n
+	return n, nil
+}
+
+// Insert stores a new record of typeName for subjectID. If m is nil the
+// schema's default membrane is applied — every record always carries a
+// membrane (enforcement rule 3). The plain and sensitive parts are sealed
+// under separate per-PD keys. It returns the new pdid.
+func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m *membrane.Membrane) (string, error) {
+	if err := s.check(tok, lsm.OpCreate, typeName+"/"+subjectID); err != nil {
+		return "", err
+	}
+	if subjectID == "" || strings.ContainsRune(subjectID, '/') {
+		return "", fmt.Errorf("%w: bad subject id %q", ErrBadPDID, subjectID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sch, ok := s.schemas[typeName]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoType, typeName)
+	}
+	if err := validateRecord(sch, rec); err != nil {
+		return "", err
+	}
+	recNo, err := s.nextSeq(typeName)
+	if err != nil {
+		return "", fmt.Errorf("dbfs: insert: seq: %w", err)
+	}
+	pdid := PDID(typeName, subjectID, recNo)
+	if m == nil {
+		m = sch.DefaultMembrane(pdid, subjectID, s.clock.Now())
+	} else {
+		m = m.Clone()
+		m.PDID = pdid
+		m.TypeName = typeName
+		m.SubjectID = subjectID
+		if m.CreatedAt.IsZero() {
+			m.CreatedAt = s.clock.Now()
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+
+	tree, err := s.subjectTypeTree(typeName, subjectID, true)
+	if err != nil {
+		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+	}
+	recName := strconv.FormatUint(recNo, 10)
+
+	plainPart, sensPart := partsOf(sch)
+	plainBytes, err := encodeRecordPart(sch, rec, plainPart)
+	if err != nil {
+		return "", err
+	}
+	sealed, err := s.vault.Seal(pdid, plainBytes)
+	if err != nil {
+		return "", fmt.Errorf("dbfs: insert %s: seal: %w", pdid, err)
+	}
+	if _, err := s.writeFileInode(tree, recName+dataSuffix, "record", sealed); err != nil {
+		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+	}
+	if len(sensPart) > 0 {
+		sensBytes, err := encodeRecordPart(sch, rec, sensPart)
+		if err != nil {
+			return "", err
+		}
+		sealedSens, err := s.vault.Seal(pdid+sensKeySuffix, sensBytes)
+		if err != nil {
+			return "", fmt.Errorf("dbfs: insert %s: seal sensitive: %w", pdid, err)
+		}
+		if _, err := s.writeFileInode(tree, recName+sensSuffix, "record-sens", sealedSens); err != nil {
+			return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+		}
+	}
+	memBytes, err := m.Encode()
+	if err != nil {
+		return "", err
+	}
+	if _, err := s.writeFileInode(tree, recName+memSuffix, "membrane", memBytes); err != nil {
+		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+	}
+	s.stats.Inserts++
+	return pdid, nil
+}
+
+// recordInos resolves the inode numbers of a record's files. Caller holds
+// s.mu. The sens inode is 0 when the type has no sensitive part.
+func (s *Store) recordInos(pdid string) (tree inode.Ino, data, sens, mem inode.Ino, err error) {
+	typeName, subjectID, recNo, err := SplitPDID(pdid)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, ok := s.schemas[typeName]; !ok {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %q", ErrNoType, typeName)
+	}
+	tree, err = s.subjectTypeTree(typeName, subjectID, false)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	recName := strconv.FormatUint(recNo, 10)
+	data, err = s.fs.Lookup(tree, recName+dataSuffix)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, pdid)
+	}
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sens, err = s.fs.Lookup(tree, recName+sensSuffix)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		sens = 0
+	} else if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	mem, err = s.fs.Lookup(tree, recName+memSuffix)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoMembrane, pdid)
+	}
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return tree, data, sens, mem, nil
+}
+
+// GetMembrane loads a record's membrane (the DED's ded_load_membrane step).
+func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, error) {
+	if err := s.check(tok, lsm.OpRead, pdid+memSuffix); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getMembraneLocked(pdid)
+}
+
+func (s *Store) getMembraneLocked(pdid string) (*membrane.Membrane, error) {
+	_, _, _, memIno, err := s.recordInos(pdid)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := readAll(s.fs, memIno)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: read membrane %s: %w", pdid, err)
+	}
+	m, err := membrane.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: membrane %s: %w", pdid, err)
+	}
+	s.stats.MembraneReads++
+	return m, nil
+}
+
+// PutMembrane persists an updated membrane (consent changes, erasure marks,
+// restriction flags).
+func (s *Store) PutMembrane(tok *lsm.Token, m *membrane.Membrane) error {
+	if err := s.check(tok, lsm.OpWrite, m.PDID+memSuffix); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putMembraneLocked(m)
+}
+
+func (s *Store) putMembraneLocked(m *membrane.Membrane) error {
+	tree, _, _, memIno, err := s.recordInos(m.PDID)
+	if err != nil {
+		return err
+	}
+	raw, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	// Replace contents: truncate then rewrite.
+	if err := s.fs.Truncate(memIno, 0); err != nil {
+		return err
+	}
+	if _, err := s.fs.WriteAt(memIno, 0, raw); err != nil {
+		return err
+	}
+	_ = tree
+	s.stats.MembraneWrites++
+	return nil
+}
+
+// GetRecord loads and decrypts a record's fields (the DED's ded_load_data
+// step). The caller is expected to have passed the membrane filter first;
+// DBFS itself only enforces the capability check.
+func (s *Store) GetRecord(tok *lsm.Token, pdid string) (Record, error) {
+	if err := s.check(tok, lsm.OpRead, pdid); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getRecordLocked(pdid)
+}
+
+func (s *Store) getRecordLocked(pdid string) (Record, error) {
+	typeName, _, _, err := SplitPDID(pdid)
+	if err != nil {
+		return nil, err
+	}
+	sch := s.schemas[typeName]
+	_, dataIno, sensIno, _, err := s.recordInos(pdid)
+	if err != nil {
+		return nil, err
+	}
+	plainPart, sensPart := partsOf(sch)
+	sealed, err := readAll(s.fs, dataIno)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: read %s: %w", pdid, err)
+	}
+	plainBytes, err := s.vault.Open(pdid, sealed)
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: unseal %s: %w", pdid, err)
+	}
+	rec, err := decodeRecordPart(sch, plainBytes, plainPart)
+	if err != nil {
+		return nil, err
+	}
+	if sensIno != 0 && len(sensPart) > 0 {
+		sealedSens, err := readAll(s.fs, sensIno)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: read sensitive %s: %w", pdid, err)
+		}
+		sensBytes, err := s.vault.Open(pdid+sensKeySuffix, sealedSens)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: unseal sensitive %s: %w", pdid, err)
+		}
+		sensRec, err := decodeRecordPart(sch, sensBytes, sensPart)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range sensRec {
+			rec[k] = v
+		}
+	}
+	s.stats.DataReads++
+	return rec, nil
+}
+
+// Update overwrites the stored fields of pdid with rec (a full replacement
+// of both parts).
+func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
+	if err := s.check(tok, lsm.OpWrite, pdid); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	typeName, _, _, err := SplitPDID(pdid)
+	if err != nil {
+		return err
+	}
+	sch, ok := s.schemas[typeName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoType, typeName)
+	}
+	if err := validateRecord(sch, rec); err != nil {
+		return err
+	}
+	_, dataIno, sensIno, _, err := s.recordInos(pdid)
+	if err != nil {
+		return err
+	}
+	plainPart, sensPart := partsOf(sch)
+	plainBytes, err := encodeRecordPart(sch, rec, plainPart)
+	if err != nil {
+		return err
+	}
+	sealed, err := s.vault.Seal(pdid, plainBytes)
+	if err != nil {
+		return fmt.Errorf("dbfs: update %s: seal: %w", pdid, err)
+	}
+	if err := s.fs.Truncate(dataIno, 0); err != nil {
+		return err
+	}
+	if _, err := s.fs.WriteAt(dataIno, 0, sealed); err != nil {
+		return err
+	}
+	if sensIno != 0 && len(sensPart) > 0 {
+		sensBytes, err := encodeRecordPart(sch, rec, sensPart)
+		if err != nil {
+			return err
+		}
+		sealedSens, err := s.vault.Seal(pdid+sensKeySuffix, sensBytes)
+		if err != nil {
+			return fmt.Errorf("dbfs: update %s: seal sensitive: %w", pdid, err)
+		}
+		if err := s.fs.Truncate(sensIno, 0); err != nil {
+			return err
+		}
+		if _, err := s.fs.WriteAt(sensIno, 0, sealedSens); err != nil {
+			return err
+		}
+	}
+	s.stats.Updates++
+	return nil
+}
+
+// Erase implements the crypto-erasure step of the right to be forgotten:
+// the record's data keys are shredded with escrow to the authority, and its
+// membrane is tombstoned (Erased + EscrowRef). The ciphertext remains on
+// disk, readable only by the authority.
+func (s *Store) Erase(tok *lsm.Token, pdid string) (escrowRef string, err error) {
+	if err := s.check(tok, lsm.OpDelete, pdid); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.getMembraneLocked(pdid)
+	if err != nil {
+		return "", err
+	}
+	if m.Erased {
+		return m.EscrowRef, nil // idempotent
+	}
+	rec, err := s.vault.Shred(pdid)
+	if err != nil && !errors.Is(err, cryptoshred.ErrNoKey) {
+		return "", fmt.Errorf("dbfs: erase %s: %w", pdid, err)
+	}
+	// The sensitive part has its own key; shred it too (ignore absence).
+	if _, serr := s.vault.Shred(pdid + sensKeySuffix); serr != nil &&
+		!errors.Is(serr, cryptoshred.ErrNoKey) && !errors.Is(serr, cryptoshred.ErrKeyDestroyed) {
+		return "", fmt.Errorf("dbfs: erase %s sensitive: %w", pdid, serr)
+	}
+	m.Erased = true
+	m.EscrowRef = rec.Ref
+	m.Version++
+	if err := s.putMembraneLocked(m); err != nil {
+		return "", err
+	}
+	s.stats.Erasures++
+	return rec.Ref, nil
+}
+
+// Delete physically removes a record's inodes (data, sensitive part, and
+// membrane) and shreds its keys without escrow. Used by the TTL sweeper for
+// data whose retention basis simply ran out.
+func (s *Store) Delete(tok *lsm.Token, pdid string) error {
+	if err := s.check(tok, lsm.OpDelete, pdid); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _, recNo, err := SplitPDID(pdid)
+	if err != nil {
+		return err
+	}
+	tree, dataIno, sensIno, memIno, err := s.recordInos(pdid)
+	if err != nil {
+		return err
+	}
+	recName := strconv.FormatUint(recNo, 10)
+	if err := s.fs.RemoveChild(tree, recName+dataSuffix); err != nil {
+		return err
+	}
+	if err := s.fs.FreeInode(dataIno); err != nil {
+		return err
+	}
+	if sensIno != 0 {
+		if err := s.fs.RemoveChild(tree, recName+sensSuffix); err != nil {
+			return err
+		}
+		if err := s.fs.FreeInode(sensIno); err != nil {
+			return err
+		}
+	}
+	if err := s.fs.RemoveChild(tree, recName+memSuffix); err != nil {
+		return err
+	}
+	if err := s.fs.FreeInode(memIno); err != nil {
+		return err
+	}
+	// Shred keys so any residues (ciphertext) stay unreadable forever.
+	if _, err := s.vault.Shred(pdid); err != nil &&
+		!errors.Is(err, cryptoshred.ErrNoKey) && !errors.Is(err, cryptoshred.ErrKeyDestroyed) {
+		return err
+	}
+	if _, err := s.vault.Shred(pdid + sensKeySuffix); err != nil &&
+		!errors.Is(err, cryptoshred.ErrNoKey) && !errors.Is(err, cryptoshred.ErrKeyDestroyed) {
+		return err
+	}
+	s.stats.Deletes++
+	return nil
+}
+
+// RawCiphertext returns the stored (encrypted) record bytes; together with
+// the escrow record this is what a legal authority would receive.
+func (s *Store) RawCiphertext(tok *lsm.Token, pdid string) ([]byte, error) {
+	if err := s.check(tok, lsm.OpExport, pdid); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, dataIno, _, _, err := s.recordInos(pdid)
+	if err != nil {
+		return nil, err
+	}
+	return readAll(s.fs, dataIno)
+}
+
+// Subjects lists every subject with data in DBFS, sorted.
+func (s *Store) Subjects(tok *lsm.Token) ([]string, error) {
+	if err := s.check(tok, lsm.OpScan, "subjects"); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := s.fs.Children(s.subjectRoot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListBySubject returns every pdid belonging to subjectID, sorted.
+func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error) {
+	if err := s.check(tok, lsm.OpScan, "subject/"+subjectID); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
+	if errors.Is(err, inode.ErrChildNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	typeTrees, err := s.fs.Children(subjIno)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, tt := range typeTrees {
+		recs, err := s.fs.Children(tt.Ino)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if name, ok := strings.CutSuffix(r.Name, memSuffix); ok {
+				out = append(out, tt.Name+"/"+subjectID+"/"+name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListByType returns every pdid of a type across all subjects, sorted. It
+// walks the schema tree's per-table subject links (the second major tree).
+func (s *Store) ListByType(tok *lsm.Token, typeName string) ([]string, error) {
+	if err := s.check(tok, lsm.OpScan, "type/"+typeName); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.schemas[typeName]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoType, typeName)
+	}
+	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
+	if err != nil {
+		return nil, err
+	}
+	subs, err := s.fs.Lookup(tb, tableSubjectsDir)
+	if err != nil {
+		return nil, err
+	}
+	subjects, err := s.fs.Children(subs)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, sj := range subjects {
+		recs, err := s.fs.Children(sj.Ino)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if name, ok := strings.CutSuffix(r.Name, memSuffix); ok {
+				out = append(out, typeName+"/"+sj.Name+"/"+name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,547 @@
+// Package ded implements the Data Execution Domain, the third component of
+// rgpdOS (§2): "Any F_pd function is always executed as an instance of the
+// DED, an environment that ensures GDPR compliance on manipulated PD."
+//
+// A DED run follows the paper's eight named steps:
+//
+//	ded_type2req       translate the input PD/type reference into DBFS requests
+//	ded_load_membrane  fetch the membranes of the involved PD first
+//	ded_filter         keep only PD whose membrane approves the purpose
+//	ded_load_data      fetch the data for the surviving PD
+//	ded_execute        run the processing on the fetched data
+//	ded_build_membrane wrap any generated PD in a membrane
+//	ded_store          persist generated PD in DBFS
+//	ded_return         return non-PD values and references to PD — never PD
+//
+// Execution is data-centric (Idea 2): for each invocation, the records are
+// staged into a kernel.Domain owned by the PD, the function runs against
+// that domain under a seccomp-style sandbox profile, and the domain is
+// zeroized when the DED completes, so no stale reference can reach another
+// subject's bytes. Field accesses are traced and compared against the
+// purpose declaration, providing the dynamic half of the §3(4)
+// purpose-matching check.
+package ded
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/dbfs"
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+	"repro/internal/membrane"
+	"repro/internal/purpose"
+	"repro/internal/sandbox"
+	"repro/internal/simclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoTarget reports an invocation with neither a PD ref nor a type.
+	ErrNoTarget = errors.New("ded: invocation has no PD reference or type")
+	// ErrNotFunc reports an invocation whose implementation has no body.
+	ErrNotFunc = errors.New("ded: implementation has no function body")
+	// ErrFieldHidden re-exports the view violation for Ctx.Field callers.
+	ErrFieldHidden = dbfs.ErrFieldHidden
+	// ErrPDInOutput reports a processing returning raw PD in its non-PD
+	// output slot (caught by the return-scrubbing check).
+	ErrPDInOutput = errors.New("ded: processing attempted to return raw personal data")
+)
+
+// Output is what an F_pd^r function produces for one record.
+type Output struct {
+	// NonPD is a non-personal result handed back to the caller (counts,
+	// booleans, aggregates). The DED scrubs it: if it matches a raw field
+	// value of the record, the run fails with ErrPDInOutput.
+	NonPD any
+	// Generated, if non-nil, is a new piece of PD produced by the
+	// processing; the DED wraps it in a membrane (ded_build_membrane),
+	// stores it (ded_store) and returns only its reference.
+	Generated *GeneratedPD
+}
+
+// GeneratedPD describes PD produced by a processing.
+type GeneratedPD struct {
+	TypeName  string
+	SubjectID string
+	Fields    dbfs.Record
+}
+
+// Ctx is the window an F_pd^r function gets onto one PD record: only the
+// fields exposed by the granted view are reachable, every access is traced,
+// and all side effects must go through the sandboxed Env.
+type Ctx struct {
+	env       *sandbox.Env
+	clock     simclock.Clock
+	pdid      string
+	typeName  string
+	subjectID string
+	view      dbfs.Record
+
+	mu       sync.Mutex
+	accessed map[string]bool
+}
+
+// PDID identifies the record being processed.
+func (c *Ctx) PDID() string { return c.pdid }
+
+// SubjectID identifies the data subject.
+func (c *Ctx) SubjectID() string { return c.subjectID }
+
+// TypeName is the record's PD type.
+func (c *Ctx) TypeName() string { return c.typeName }
+
+// Env exposes the sandboxed effect surface.
+func (c *Ctx) Env() *sandbox.Env { return c.env }
+
+// Now returns the current instant, mediated as a gettime syscall (Listing 2
+// needs current_year()).
+func (c *Ctx) Now() (time.Time, error) {
+	if err := c.env.Now(); err != nil {
+		return time.Time{}, err
+	}
+	return c.clock.Now(), nil
+}
+
+// Has reports whether a field is visible under the granted view — Listing
+// 2's "is age allowed to be seen?" check. The probe is traced like a read.
+func (c *Ctx) Has(field string) bool {
+	c.trace(field)
+	_, ok := c.view[field]
+	return ok
+}
+
+// Field returns a visible field's value; fields outside the granted view
+// yield ErrFieldHidden.
+func (c *Ctx) Field(field string) (dbfs.Value, error) {
+	c.trace(field)
+	v, ok := c.view[field]
+	if !ok {
+		return dbfs.Value{}, fmt.Errorf("%w: %q on %s", ErrFieldHidden, field, c.pdid)
+	}
+	return v, nil
+}
+
+func (c *Ctx) trace(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accessed[c.typeName+"."+field] = true
+}
+
+func (c *Ctx) accessedRefs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.accessed))
+	for ref := range c.accessed {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Func is the implementation half of a data processing. Exactly one of Fn
+// (F_pd^r, developer-written) or WriteFn (F_pd^w, natively provided by
+// rgpdOS) must be set.
+type Func struct {
+	// Name identifies the implementation.
+	Name string
+	// Purpose names the purpose this function implements; "every F_pd
+	// function is the implementation of a unique data processing purpose".
+	Purpose string
+	// DeclaredReads lists the "type.field" references the implementation
+	// statically declares; the PS checks them against the purpose at
+	// registration, the DED verifies them dynamically.
+	DeclaredReads []string
+	// Fn is the read-only processing body.
+	Fn func(*Ctx) (Output, error)
+	// WriteFn is the state-mutating body used by built-in functions.
+	WriteFn func(*WriteCtx) error
+}
+
+// Validate checks the function shape.
+func (f *Func) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("%w: unnamed function", ErrNotFunc)
+	}
+	if (f.Fn == nil) == (f.WriteFn == nil) {
+		return fmt.Errorf("%w: %q must set exactly one of Fn/WriteFn", ErrNotFunc, f.Name)
+	}
+	return nil
+}
+
+// Invocation is one ps_invoke request lowered to the DED.
+type Invocation struct {
+	// Purpose is the declared purpose being exercised.
+	Purpose *purpose.Decl
+	// Impl is the registered implementation.
+	Impl *Func
+	// PDRef targets one record; when empty, TypeName targets all records
+	// of a type (ded_type2req expands it).
+	PDRef    string
+	TypeName string
+	// SubjectFilter optionally restricts the expansion to one subject.
+	SubjectFilter string
+	// Params carries operator-supplied arguments to write builtins
+	// (e.g. replacement field values for update).
+	Params map[string]any
+	// Maintenance marks runs executing a data-subject right or legal
+	// obligation: the membrane's consent/TTL checks are bypassed (the
+	// legal basis is the request itself), while identity checks remain.
+	Maintenance bool
+}
+
+// StageTimings records wall-clock time per pipeline stage (measurement
+// instrumentation for the F4P experiment; not simulation state).
+type StageTimings struct {
+	Type2Req      time.Duration
+	LoadMembrane  time.Duration
+	Filter        time.Duration
+	LoadData      time.Duration
+	Execute       time.Duration
+	BuildMembrane time.Duration
+	Store         time.Duration
+	Return        time.Duration
+}
+
+// Total sums the stage timings.
+func (st StageTimings) Total() time.Duration {
+	return st.Type2Req + st.LoadMembrane + st.Filter + st.LoadData +
+		st.Execute + st.BuildMembrane + st.Store + st.Return
+}
+
+// Result is what ded_return hands back: non-PD values and PD references
+// only.
+type Result struct {
+	// Outputs collects the non-PD outputs of each processed record.
+	Outputs []any
+	// PDRefs references PD generated by the processing.
+	PDRefs []string
+	// Processed counts records that passed the filter and were executed.
+	Processed int
+	// Filtered counts records rejected by their membranes, by reason.
+	Filtered map[string]int
+	// DynamicReads lists the observed "type.field" accesses.
+	DynamicReads []string
+	// Timings breaks the run down by pipeline stage.
+	Timings StageTimings
+}
+
+// DED executes invocations against DBFS. It holds the CapDBFS token —
+// enforcement rule 4: "DED is the only component that is able to access
+// DBFS directly".
+type DED struct {
+	store  *dbfs.Store
+	tok    *lsm.Token
+	log    *audit.Log
+	clock  simclock.Clock
+	ledger *membrane.Ledger
+
+	mu     sync.Mutex
+	invSeq uint64
+}
+
+// New wires a DED. The token must carry lsm.CapDBFS (minted by the kernel
+// at boot); the ledger tracks copy families for consent propagation.
+func New(store *dbfs.Store, tok *lsm.Token, log *audit.Log, ledger *membrane.Ledger, clock simclock.Clock) *DED {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if ledger == nil {
+		ledger = membrane.NewLedger()
+	}
+	return &DED{store: store, tok: tok, log: log, clock: clock, ledger: ledger}
+}
+
+// Ledger exposes the copy ledger (used by the rights engine).
+func (d *DED) Ledger() *membrane.Ledger { return d.ledger }
+
+// Store exposes the underlying DBFS for components that legitimately run
+// inside the DED's trust domain (the rights engine); external callers have
+// no token and are rejected by DBFS anyway.
+func (d *DED) Store() *dbfs.Store { return d.store }
+
+// Token returns the DED's DBFS capability (needed by in-domain components).
+func (d *DED) Token() *lsm.Token { return d.tok }
+
+// Run executes one invocation through the eight-stage pipeline.
+func (d *DED) Run(inv Invocation) (*Result, error) {
+	if inv.Purpose == nil {
+		return nil, fmt.Errorf("%w: invocation without purpose", ErrNotFunc)
+	}
+	if inv.Impl == nil {
+		return nil, fmt.Errorf("%w: invocation without implementation", ErrNotFunc)
+	}
+	if err := inv.Impl.Validate(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.invSeq++
+	invID := d.invSeq
+	d.mu.Unlock()
+
+	res := &Result{Filtered: make(map[string]int)}
+
+	// --- ded_type2req ---
+	start := time.Now()
+	pdids, err := d.expandTargets(inv)
+	res.Timings.Type2Req = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- ded_load_membrane ---
+	start = time.Now()
+	candidates := make([]candidate, 0, len(pdids))
+	for _, pdid := range pdids {
+		m, err := d.store.GetMembrane(d.tok, pdid)
+		if err != nil {
+			return nil, fmt.Errorf("ded: load membrane %s: %w", pdid, err)
+		}
+		candidates = append(candidates, candidate{pdid: pdid, m: m})
+	}
+	res.Timings.LoadMembrane = time.Since(start)
+
+	// --- ded_filter ---
+	start = time.Now()
+	now := d.clock.Now()
+	var pass []admitted
+	for _, c := range candidates {
+		grant, err := d.decide(c.m, inv, now)
+		if err != nil {
+			res.Filtered[filterReason(err)]++
+			d.log.Append(audit.KindDenial, inv.Purpose.Name, c.pdid, c.m.SubjectID, "filtered", err.Error())
+			continue
+		}
+		pass = append(pass, admitted{pdid: c.pdid, m: c.m, grant: grant})
+	}
+	res.Timings.Filter = time.Since(start)
+
+	// Write pipeline: built-ins mutate DBFS state per record.
+	if inv.Impl.WriteFn != nil {
+		return d.runWrite(inv, res, pass)
+	}
+
+	// --- ded_load_data ---
+	start = time.Now()
+	var sch *dbfs.Schema
+	if len(pass) > 0 {
+		sch, err = d.store.SchemaOf(d.tok, schemaName(inv, pass))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rows []loaded
+	for _, a := range pass {
+		rec, err := d.store.GetRecord(d.tok, a.pdid)
+		if err != nil {
+			return nil, fmt.Errorf("ded: load data %s: %w", a.pdid, err)
+		}
+		view, err := dbfs.ProjectView(sch, rec, a.grant)
+		if err != nil {
+			return nil, fmt.Errorf("ded: project %s: %w", a.pdid, err)
+		}
+		rows = append(rows, loaded{admitted: a, view: view})
+	}
+	res.Timings.LoadData = time.Since(start)
+
+	// --- ded_execute ---
+	start = time.Now()
+	domain := kernel.NewDomain("ded-" + strconv.FormatUint(invID, 10))
+	defer domain.Zeroize()
+	monitor := sandbox.NewMonitor(sandbox.DEDProfile())
+	env := sandbox.NewEnv(monitor)
+	dynamic := make(map[string]bool)
+	var outputs []Output
+	for _, row := range rows {
+		// Stage the record into the PD's domain: the function executes in
+		// the data's world, not its own (Idea 2).
+		if err := domain.Put(row.pdid, []byte(fmt.Sprint(row.view))); err != nil {
+			return nil, err
+		}
+		ctx := &Ctx{
+			env:       env,
+			clock:     d.clock,
+			pdid:      row.pdid,
+			typeName:  row.m.TypeName,
+			subjectID: row.m.SubjectID,
+			view:      row.view,
+			accessed:  make(map[string]bool),
+		}
+		out, err := inv.Impl.Fn(ctx)
+		for _, ref := range ctx.accessedRefs() {
+			dynamic[ref] = true
+		}
+		if err != nil {
+			d.log.Append(audit.KindProcessing, inv.Purpose.Name, row.pdid, row.m.SubjectID, "error", err.Error())
+			return nil, fmt.Errorf("ded: execute %s on %s: %w", inv.Impl.Name, row.pdid, err)
+		}
+		if err := scrubOutput(out.NonPD, row.view); err != nil {
+			d.log.Append(audit.KindAlert, inv.Purpose.Name, row.pdid, row.m.SubjectID, "blocked", err.Error())
+			return nil, err
+		}
+		outputs = append(outputs, out)
+		res.Processed++
+		d.log.Append(audit.KindProcessing, inv.Purpose.Name, row.pdid, row.m.SubjectID, "ok", inv.Impl.Name)
+	}
+	res.Timings.Execute = time.Since(start)
+
+	// --- ded_build_membrane + ded_store ---
+	for i, out := range outputs {
+		if out.NonPD != nil {
+			res.Outputs = append(res.Outputs, out.NonPD)
+		}
+		if out.Generated == nil {
+			continue
+		}
+		bmStart := time.Now()
+		src := rows[i].m
+		gm := d.buildMembrane(out.Generated, src, now)
+		res.Timings.BuildMembrane += time.Since(bmStart)
+
+		stStart := time.Now()
+		ref, err := d.store.Insert(d.tok, out.Generated.TypeName, out.Generated.SubjectID, out.Generated.Fields, gm)
+		if err != nil {
+			return nil, fmt.Errorf("ded: store generated PD: %w", err)
+		}
+		d.ledger.RegisterCopy(rows[i].pdid, ref)
+		res.PDRefs = append(res.PDRefs, ref)
+		res.Timings.Store += time.Since(stStart)
+	}
+
+	// --- ded_return ---
+	start = time.Now()
+	res.DynamicReads = keysSorted(dynamic)
+	res.Timings.Return = time.Since(start)
+	return res, nil
+}
+
+// expandTargets implements ded_type2req.
+func (d *DED) expandTargets(inv Invocation) ([]string, error) {
+	if inv.PDRef != "" {
+		return []string{inv.PDRef}, nil
+	}
+	if inv.TypeName == "" {
+		return nil, ErrNoTarget
+	}
+	if inv.SubjectFilter != "" {
+		all, err := d.store.ListBySubject(d.tok, inv.SubjectFilter)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, pdid := range all {
+			if ty, _, _, err := dbfs.SplitPDID(pdid); err == nil && ty == inv.TypeName {
+				out = append(out, pdid)
+			}
+		}
+		return out, nil
+	}
+	return d.store.ListByType(d.tok, inv.TypeName)
+}
+
+// decide applies the membrane decision, honoring maintenance mode.
+func (d *DED) decide(m *membrane.Membrane, inv Invocation, now time.Time) (membrane.Grant, error) {
+	if inv.Maintenance {
+		// Rights execution: the membrane's consent matrix does not gate a
+		// legal obligation, but identity still must match.
+		return membrane.Grant{Kind: membrane.GrantAll}, nil
+	}
+	return m.Decide(inv.Purpose.Name, now)
+}
+
+// buildMembrane implements ded_build_membrane for generated PD: derived
+// origin, inherited consents, TTL and sensitivity from the source membrane
+// (the conservative policy: derived data is no more permissive than its
+// source).
+func (d *DED) buildMembrane(g *GeneratedPD, src *membrane.Membrane, now time.Time) *membrane.Membrane {
+	gm := membrane.New("", g.TypeName, g.SubjectID) // identity fixed by Insert
+	gm.PDID = "pending"                             // placeholder; Insert overrides
+	gm.Origin = membrane.OriginDerived
+	gm.Sensitivity = src.Sensitivity
+	gm.TTL = src.TTL
+	gm.CreatedAt = now
+	for p, grant := range src.Consents {
+		gm.Consents[p] = grant
+	}
+	return gm
+}
+
+// scrubOutput is the ded_return guard: a non-PD output that equals a raw
+// string field value of the processed view is treated as attempted PD
+// leakage. (Heuristic, like any taint check; the paper's stronger answer is
+// the F_npd/F_pd split itself.)
+func scrubOutput(out any, view dbfs.Record) error {
+	s, ok := out.(string)
+	if !ok || s == "" {
+		return nil
+	}
+	for name, v := range view {
+		if v.Type == dbfs.TypeString && v.S == s {
+			return fmt.Errorf("%w: output equals field %q", ErrPDInOutput, name)
+		}
+	}
+	return nil
+}
+
+func filterReason(err error) string {
+	switch {
+	case errors.Is(err, membrane.ErrErased):
+		return "erased"
+	case errors.Is(err, membrane.ErrRestricted):
+		return "restricted"
+	case errors.Is(err, membrane.ErrExpired):
+		return "expired"
+	case errors.Is(err, membrane.ErrConsentDenied):
+		return "consent-denied"
+	default:
+		return "other"
+	}
+}
+
+// candidate pairs a pdid with its loaded membrane (post ded_load_membrane).
+type candidate struct {
+	pdid string
+	m    *membrane.Membrane
+}
+
+// admitted is a candidate that passed ded_filter, with its granted view.
+type admitted struct {
+	pdid  string
+	m     *membrane.Membrane
+	grant membrane.Grant
+}
+
+// loaded is an admitted record with its view-projected data.
+type loaded struct {
+	admitted
+	view dbfs.Record
+}
+
+// schemaName picks the schema to project with: the invocation type, or the
+// type of the first admitted record for single-PD invocations.
+func schemaName(inv Invocation, pass []admitted) string {
+	if inv.TypeName != "" {
+		return inv.TypeName
+	}
+	if len(pass) > 0 {
+		return pass[0].m.TypeName
+	}
+	if ty, _, _, err := dbfs.SplitPDID(inv.PDRef); err == nil {
+		return ty
+	}
+	return ""
+}
+
+func keysSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

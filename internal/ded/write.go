@@ -1,0 +1,143 @@
+package ded
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/dbfs"
+	"repro/internal/membrane"
+)
+
+// WriteCtx is the controlled mutation surface handed to F_pd^w functions —
+// the built-ins natively provided by rgpdOS (update, delete, copy,
+// acquisition). Each instance is bound to one admitted record; every
+// mutation keeps the membrane invariant (rule 3) and flows through the
+// DED's DBFS token, so built-ins enjoy no path around the enforcement
+// architecture.
+type WriteCtx struct {
+	d    *DED
+	inv  *Invocation
+	pdid string
+	m    *membrane.Membrane
+
+	generated []string
+}
+
+// PDID identifies the record being mutated.
+func (w *WriteCtx) PDID() string { return w.pdid }
+
+// SubjectID identifies the data subject.
+func (w *WriteCtx) SubjectID() string { return w.m.SubjectID }
+
+// Membrane returns a copy of the record's membrane.
+func (w *WriteCtx) Membrane() *membrane.Membrane { return w.m.Clone() }
+
+// Params returns the operator-supplied arguments of the invocation.
+func (w *WriteCtx) Params() map[string]any { return w.inv.Params }
+
+// Record loads the record's current fields.
+func (w *WriteCtx) Record() (dbfs.Record, error) {
+	return w.d.store.GetRecord(w.d.tok, w.pdid)
+}
+
+// Update replaces the record's fields (the update builtin; also the
+// rectification right).
+func (w *WriteCtx) Update(rec dbfs.Record) error {
+	if err := w.d.store.Update(w.d.tok, w.pdid, rec); err != nil {
+		return err
+	}
+	w.d.log.Append(audit.KindProcessing, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok", "update")
+	return nil
+}
+
+// Copy duplicates the record for the same subject. The copy's membrane is
+// derived with CloneForCopy and the family is registered in the ledger so
+// consent changes and erasures reach every copy — the paper's membrane
+// consistency obligation for the copy builtin.
+func (w *WriteCtx) Copy() (string, error) {
+	rec, err := w.Record()
+	if err != nil {
+		return "", err
+	}
+	cm := w.m.CloneForCopy("pending") // identity fixed by Insert
+	ref, err := w.d.store.Insert(w.d.tok, w.m.TypeName, w.m.SubjectID, rec, cm)
+	if err != nil {
+		return "", fmt.Errorf("ded: copy %s: %w", w.pdid, err)
+	}
+	w.d.ledger.RegisterCopy(w.pdid, ref)
+	w.generated = append(w.generated, ref)
+	w.d.log.Append(audit.KindProcessing, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok", "copy -> "+ref)
+	return ref, nil
+}
+
+// Erase crypto-shreds the record with authority escrow and tombstones its
+// membrane (the delete builtin implementing the right to be forgotten, §4).
+func (w *WriteCtx) Erase() (string, error) {
+	ref, err := w.d.store.Erase(w.d.tok, w.pdid)
+	if err != nil {
+		return "", err
+	}
+	w.d.log.Append(audit.KindErasure, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok", "escrow="+ref)
+	return ref, nil
+}
+
+// Delete physically removes the record (retention-expired cleanup).
+func (w *WriteCtx) Delete() error {
+	if err := w.d.store.Delete(w.d.tok, w.pdid); err != nil {
+		return err
+	}
+	w.d.log.Append(audit.KindErasure, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok", "deleted")
+	return nil
+}
+
+// SetConsent records a consent decision on the membrane.
+func (w *WriteCtx) SetConsent(purposeName string, g membrane.Grant) error {
+	w.m.SetConsent(purposeName, g)
+	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+		return err
+	}
+	w.d.log.Append(audit.KindConsentChange, purposeName, w.pdid, w.m.SubjectID, "ok", "grant="+g.String())
+	return nil
+}
+
+// WithdrawConsent revokes a purpose's grant (Art. 7(3)).
+func (w *WriteCtx) WithdrawConsent(purposeName string) error {
+	w.m.WithdrawConsent(purposeName)
+	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+		return err
+	}
+	w.d.log.Append(audit.KindConsentChange, purposeName, w.pdid, w.m.SubjectID, "ok", "withdrawn")
+	return nil
+}
+
+// SetRestricted toggles the Art. 18 restriction flag.
+func (w *WriteCtx) SetRestricted(restricted bool) error {
+	w.m.Restricted = restricted
+	w.m.Version++
+	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+		return err
+	}
+	w.d.log.Append(audit.KindConsentChange, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok",
+		fmt.Sprintf("restricted=%t", restricted))
+	return nil
+}
+
+// runWrite is the F_pd^w tail of the pipeline: per admitted record, the
+// builtin mutates DBFS through the WriteCtx. ded_load_data/ded_execute
+// merge (builtins load what they need), and generated refs flow to
+// ded_return as usual.
+func (d *DED) runWrite(inv Invocation, res *Result, pass []admitted) (*Result, error) {
+	start := time.Now()
+	for _, a := range pass {
+		w := &WriteCtx{d: d, inv: &inv, pdid: a.pdid, m: a.m.Clone()}
+		if err := inv.Impl.WriteFn(w); err != nil {
+			d.log.Append(audit.KindProcessing, inv.Purpose.Name, a.pdid, a.m.SubjectID, "error", err.Error())
+			return nil, fmt.Errorf("ded: %s on %s: %w", inv.Impl.Name, a.pdid, err)
+		}
+		res.PDRefs = append(res.PDRefs, w.generated...)
+		res.Processed++
+	}
+	res.Timings.Execute = time.Since(start)
+	return res, nil
+}

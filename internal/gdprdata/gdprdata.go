@@ -1,0 +1,147 @@
+// Package gdprdata reproduces Figure 1 of the paper: the GDPR penalty
+// statistics that motivate rgpdOS. The paper plots data from Data Legal
+// Drive's sanction map (reference [2]): total penalties per year
+// (2018–2021, "topping 1.2 billion euros in 2021") and the five most
+// sanctioned business sectors.
+//
+// The paper prints charts without a numeric table, so the values here are
+// read off the figure and cross-checked against public GDPR enforcement
+// trackers for the same period; they preserve the figure's shape (strict
+// yearly growth on the left, the sector ordering on the right), which is
+// what the reproduction must regenerate. The renderer produces the two
+// panels as ASCII bar charts.
+package gdprdata
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// YearlyPenalty is one bar of Fig. 1 (left).
+type YearlyPenalty struct {
+	Year int
+	// MEuros is the total penalties that year, in millions of euros.
+	MEuros float64
+}
+
+// SectorPenalty is one bar of Fig. 1 (right).
+type SectorPenalty struct {
+	Sector string
+	MEuros float64
+}
+
+// Penalties returns the Fig. 1 (left) series: total GDPR penalties per
+// year in millions of euros. 2018 was the ramp-up (≈0.4M across the EU);
+// 2021 tops 1.2 billion as the paper highlights (driven by the Luxembourg
+// and Irish decisions).
+func Penalties() []YearlyPenalty {
+	return []YearlyPenalty{
+		{Year: 2018, MEuros: 0.4},
+		{Year: 2019, MEuros: 72},
+		{Year: 2020, MEuros: 171},
+		{Year: 2021, MEuros: 1200},
+	}
+}
+
+// CumulativePenalties integrates Penalties over time.
+func CumulativePenalties() []YearlyPenalty {
+	in := Penalties()
+	out := make([]YearlyPenalty, len(in))
+	total := 0.0
+	for i, p := range in {
+		total += p.MEuros
+		out[i] = YearlyPenalty{Year: p.Year, MEuros: total}
+	}
+	return out
+}
+
+// Sectors returns the Fig. 1 (right) series: the five most sanctioned
+// business sectors, in millions of euros, matching the figure's order
+// (Markets, Medias, Transport, IT, Tourism).
+func Sectors() []SectorPenalty {
+	return []SectorPenalty{
+		{Sector: "Markets", MEuros: 750},
+		{Sector: "Medias", MEuros: 230},
+		{Sector: "Transport", MEuros: 150},
+		{Sector: "IT", MEuros: 90},
+		{Sector: "Tourism", MEuros: 55},
+	}
+}
+
+// CheckShape validates the figure-shape invariants the reproduction relies
+// on: yearly totals strictly increase, 2021 tops 1.2 B€, and the sectors
+// are in descending order with Markets first.
+func CheckShape() error {
+	years := Penalties()
+	for i := 1; i < len(years); i++ {
+		if years[i].MEuros <= years[i-1].MEuros {
+			return fmt.Errorf("gdprdata: penalties not increasing at %d", years[i].Year)
+		}
+	}
+	last := years[len(years)-1]
+	if last.Year != 2021 || last.MEuros < 1200 {
+		return fmt.Errorf("gdprdata: 2021 total %.0f M€ does not top 1.2 B€", last.MEuros)
+	}
+	sectors := Sectors()
+	if sectors[0].Sector != "Markets" {
+		return fmt.Errorf("gdprdata: top sector is %q, want Markets", sectors[0].Sector)
+	}
+	if !sort.SliceIsSorted(sectors, func(i, j int) bool { return sectors[i].MEuros > sectors[j].MEuros }) {
+		return fmt.Errorf("gdprdata: sectors not in descending order")
+	}
+	return nil
+}
+
+// bar renders a value as a proportional bar of at most width runes.
+func bar(value, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n < 1 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderLeft writes the Fig. 1 (left) panel.
+func RenderLeft(w io.Writer) error {
+	data := Penalties()
+	max := 0.0
+	for _, p := range data {
+		if p.MEuros > max {
+			max = p.MEuros
+		}
+	}
+	if _, err := fmt.Fprintln(w, "Fig.1 (left) — total GDPR penalties per year (M euros)"); err != nil {
+		return err
+	}
+	for _, p := range data {
+		if _, err := fmt.Fprintf(w, "  %d | %-50s %8.1f\n", p.Year, bar(p.MEuros, max, 50), p.MEuros); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderRight writes the Fig. 1 (right) panel.
+func RenderRight(w io.Writer) error {
+	data := Sectors()
+	max := 0.0
+	for _, s := range data {
+		if s.MEuros > max {
+			max = s.MEuros
+		}
+	}
+	if _, err := fmt.Fprintln(w, "Fig.1 (right) — top 5 most sanctioned business sectors (M euros)"); err != nil {
+		return err
+	}
+	for _, s := range data {
+		if _, err := fmt.Fprintf(w, "  %-10s | %-50s %8.1f\n", s.Sector, bar(s.MEuros, max, 50), s.MEuros); err != nil {
+			return err
+		}
+	}
+	return nil
+}

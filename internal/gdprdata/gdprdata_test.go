@@ -1,0 +1,93 @@
+package gdprdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckShape(t *testing.T) {
+	if err := CheckShape(); err != nil {
+		t.Fatalf("CheckShape: %v", err)
+	}
+}
+
+func TestPenaltiesMatchPaperClaims(t *testing.T) {
+	years := Penalties()
+	if len(years) != 4 || years[0].Year != 2018 || years[3].Year != 2021 {
+		t.Fatalf("years = %+v", years)
+	}
+	// "topping 1.2 billion euros in 2021"
+	if years[3].MEuros < 1200 {
+		t.Fatalf("2021 = %.0f M€", years[3].MEuros)
+	}
+	// "increases every year"
+	for i := 1; i < len(years); i++ {
+		if years[i].MEuros <= years[i-1].MEuros {
+			t.Fatalf("not increasing at %d", years[i].Year)
+		}
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	cum := CumulativePenalties()
+	if cum[0].MEuros != 0.4 {
+		t.Fatalf("cum 2018 = %v", cum[0])
+	}
+	want := 0.4 + 72 + 171 + 1200
+	if got := cum[len(cum)-1].MEuros; got != want {
+		t.Fatalf("cum 2021 = %v, want %v", got, want)
+	}
+}
+
+func TestSectorsTop5(t *testing.T) {
+	sectors := Sectors()
+	if len(sectors) != 5 {
+		t.Fatalf("sectors = %d", len(sectors))
+	}
+	names := []string{"Markets", "Medias", "Transport", "IT", "Tourism"}
+	for i, s := range sectors {
+		if s.Sector != names[i] {
+			t.Fatalf("sector %d = %q, want %q", i, s.Sector, names[i])
+		}
+	}
+}
+
+func TestRenderPanels(t *testing.T) {
+	var left, right strings.Builder
+	if err := RenderLeft(&left); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderRight(&right); err != nil {
+		t.Fatal(err)
+	}
+	l := left.String()
+	if !strings.Contains(l, "2021") || !strings.Contains(l, "1200.0") {
+		t.Fatalf("left panel:\n%s", l)
+	}
+	// 2021's bar must dominate 2019's.
+	if strings.Count(lineOf(l, "2021"), "#") <= strings.Count(lineOf(l, "2019"), "#") {
+		t.Fatalf("bar proportions wrong:\n%s", l)
+	}
+	r := right.String()
+	if !strings.Contains(r, "Markets") || !strings.Contains(r, "Tourism") {
+		t.Fatalf("right panel:\n%s", r)
+	}
+}
+
+func lineOf(s, substr string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestBarEdgeCases(t *testing.T) {
+	if bar(0, 0, 10) != "" {
+		t.Fatal("zero max should render empty")
+	}
+	if got := bar(0.1, 1000, 50); got != "#" {
+		t.Fatalf("tiny value bar = %q, want single #", got)
+	}
+}

@@ -1,0 +1,958 @@
+// Package inode implements a uFS-style inode layer over a simulated block
+// device, with write-ahead journaling for crash consistency.
+//
+// The paper's prototype (§3) re-architects uFS, keeping "the implementation
+// of the inode concept" and building two major inode trees on top of it for
+// DBFS. This package is that kept layer: fixed-size on-disk inodes with
+// direct, single-indirect and double-indirect block pointers, an allocation
+// bitmap, and named parent→child links so inodes form trees. Both DBFS
+// (internal/dbfs) and the traditional file-based filesystem
+// (internal/plainfs) are built on it.
+//
+// Deliberate realism: freeing an inode releases its blocks but does NOT zero
+// them, and every mutation's pre-/post-images flow through the journal. Both
+// behaviours match production filesystems and are exactly why a file-based
+// OS below a "GDPR-compliant" database can violate the right to be forgotten
+// (DESIGN.md F2V1). rgpdOS's DBFS neutralizes them by storing only
+// ciphertext in inodes (see internal/cryptoshred).
+package inode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/simclock"
+	"repro/internal/wal"
+)
+
+// Mode classifies an inode.
+type Mode uint32
+
+// Inode modes. ModeFree marks an unallocated table slot; its zero value is
+// meaningful on disk, so the enum starts at zero deliberately.
+const (
+	ModeFree Mode = iota
+	ModeFile
+	ModeTree
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeFree:
+		return "free"
+	case ModeFile:
+		return "file"
+	case ModeTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("mode(%d)", uint32(m))
+	}
+}
+
+// Ino is an inode number. 0 is never a valid inode; the root tree inode is 1.
+type Ino uint64
+
+// Layout constants.
+const (
+	magic   uint32 = 0x75465321 // "uFS!"
+	version uint32 = 1
+
+	// InodeSize is the on-disk inode record size.
+	InodeSize = 256
+	// InodesPerBlock is how many inodes fit in one device block.
+	InodesPerBlock = blockdev.BlockSize / InodeSize
+
+	// NumDirect is the number of direct block pointers per inode.
+	NumDirect = 12
+	// PtrsPerBlock is the number of block pointers in an indirect block.
+	PtrsPerBlock = blockdev.BlockSize / 8
+
+	// MaxTagLen is the longest tag string an inode can carry. DBFS uses
+	// tags to label inode roles (schema, subject, record, membrane).
+	MaxTagLen = 80
+
+	// MaxFileBlocks is the per-inode capacity in blocks.
+	MaxFileBlocks = NumDirect + PtrsPerBlock + PtrsPerBlock*PtrsPerBlock
+
+	// RootIno is the inode number of the root tree, created by Format.
+	RootIno Ino = 1
+
+	// blocksPerTxnChunk bounds how many data blocks a single journal
+	// transaction carries during large writes; bigger writes are split
+	// into multiple transactions.
+	blocksPerTxnChunk = 64
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFormatted reports a device without a valid superblock.
+	ErrNotFormatted = errors.New("inode: device is not formatted")
+	// ErrBadInode reports an out-of-range or unallocated inode number.
+	ErrBadInode = errors.New("inode: invalid inode")
+	// ErrNoSpace reports block or inode exhaustion.
+	ErrNoSpace = errors.New("inode: no space left on device")
+	// ErrNotTree reports a tree operation on a non-tree inode.
+	ErrNotTree = errors.New("inode: not a tree inode")
+	// ErrChildExists reports an AddChild with a duplicate name.
+	ErrChildExists = errors.New("inode: child name already exists")
+	// ErrChildNotFound reports a missing child name.
+	ErrChildNotFound = errors.New("inode: child not found")
+	// ErrTagTooLong reports a tag above MaxTagLen.
+	ErrTagTooLong = errors.New("inode: tag too long")
+	// ErrFileTooBig reports a write beyond MaxFileBlocks.
+	ErrFileTooBig = errors.New("inode: file exceeds maximum size")
+	// ErrTreeNotEmpty reports freeing a tree that still has children.
+	ErrTreeNotEmpty = errors.New("inode: tree has children")
+)
+
+// Info is the stat result for an inode.
+type Info struct {
+	Ino   Ino
+	Mode  Mode
+	Size  uint64
+	MTime time.Time
+	Tag   string
+	// Links is the number of tree links pointing at this inode.
+	Links uint32
+}
+
+// superblock describes the device layout. It lives in block 0.
+type superblock struct {
+	NBlocks       uint64
+	NInodes       uint64
+	BitmapStart   uint64
+	BitmapBlocks  uint64
+	InodeStart    uint64
+	InodeBlocks   uint64
+	JournalStart  uint64
+	JournalBlocks uint64
+	DataStart     uint64
+}
+
+// dinode is the in-memory form of an on-disk inode.
+type dinode struct {
+	Mode      Mode
+	Links     uint32
+	Size      uint64
+	MTimeNano int64
+	Direct    [NumDirect]uint64
+	Indirect  uint64
+	DblInd    uint64
+	Tag       string
+}
+
+// Options configures Format.
+type Options struct {
+	// NInodes is the inode table capacity. Default 4096.
+	NInodes uint64
+	// JournalBlocks is the journal region size. Default 256.
+	JournalBlocks uint64
+	// Clock supplies mtimes. Default simclock.Real.
+	Clock simclock.Clock
+}
+
+func (o *Options) withDefaults() {
+	if o.NInodes == 0 {
+		o.NInodes = 4096
+	}
+	if o.JournalBlocks == 0 {
+		o.JournalBlocks = 256
+	}
+	if o.Clock == nil {
+		o.Clock = simclock.Real{}
+	}
+}
+
+// FS is a mounted inode filesystem. All methods are safe for concurrent use.
+type FS struct {
+	dev   blockdev.Device
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	sb     superblock
+	log    *wal.Log
+	bitmap []byte // in-memory block allocation bitmap, one bit per device block
+	itab   []dinode
+	// maxChunk bounds data blocks per journal transaction; it is derived
+	// from the journal size so one transaction (data + staged metadata)
+	// always fits the region.
+	maxChunk int
+}
+
+// chunkLimit derives the per-transaction data-block budget from the journal
+// size, reserving headroom for descriptor/commit blocks and staged metadata
+// (inode table, bitmap, and indirect blocks).
+func chunkLimit(journalBlocks uint64) int {
+	const metaHeadroom = 10
+	limit := int(journalBlocks) - metaHeadroom
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > blocksPerTxnChunk {
+		limit = blocksPerTxnChunk
+	}
+	return limit
+}
+
+// Format initializes dev with an empty filesystem and returns it mounted.
+func Format(dev blockdev.Device, opts Options) (*FS, error) {
+	opts.withDefaults()
+	n := dev.NumBlocks()
+	bitmapBlocks := (n/8 + blockdev.BlockSize - 1) / blockdev.BlockSize
+	inodeBlocks := (opts.NInodes + InodesPerBlock - 1) / InodesPerBlock
+	sb := superblock{
+		NBlocks:       n,
+		NInodes:       inodeBlocks * InodesPerBlock,
+		BitmapStart:   1,
+		BitmapBlocks:  bitmapBlocks,
+		InodeStart:    1 + bitmapBlocks,
+		InodeBlocks:   inodeBlocks,
+		JournalStart:  1 + bitmapBlocks + inodeBlocks,
+		JournalBlocks: opts.JournalBlocks,
+	}
+	sb.DataStart = sb.JournalStart + sb.JournalBlocks
+	if sb.DataStart+8 > n {
+		return nil, fmt.Errorf("%w: device too small (%d blocks, need > %d)", ErrNoSpace, n, sb.DataStart+8)
+	}
+
+	fs := &FS{
+		dev:      dev,
+		clock:    opts.Clock,
+		sb:       sb,
+		bitmap:   make([]byte, bitmapBlocks*blockdev.BlockSize),
+		itab:     make([]dinode, sb.NInodes),
+		maxChunk: chunkLimit(sb.JournalBlocks),
+	}
+	// Mark metadata region (everything before DataStart) as allocated.
+	for b := uint64(0); b < sb.DataStart; b++ {
+		fs.bitmap[b/8] |= 1 << (b % 8)
+	}
+
+	// Persist superblock directly (pre-journal bootstrap write).
+	buf := make([]byte, blockdev.BlockSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], version)
+	enc := buf[8:]
+	for i, v := range []uint64{sb.NBlocks, sb.NInodes, sb.BitmapStart, sb.BitmapBlocks,
+		sb.InodeStart, sb.InodeBlocks, sb.JournalStart, sb.JournalBlocks, sb.DataStart} {
+		binary.LittleEndian.PutUint64(enc[8*i:], v)
+	}
+	if err := dev.WriteBlock(0, buf); err != nil {
+		return nil, fmt.Errorf("inode: write superblock: %w", err)
+	}
+	// Persist initial bitmap.
+	for i := uint64(0); i < bitmapBlocks; i++ {
+		if err := dev.WriteBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
+			return nil, fmt.Errorf("inode: write bitmap: %w", err)
+		}
+	}
+	// Persist empty inode table.
+	zero := make([]byte, blockdev.BlockSize)
+	for i := uint64(0); i < inodeBlocks; i++ {
+		if err := dev.WriteBlock(sb.InodeStart+i, zero); err != nil {
+			return nil, fmt.Errorf("inode: write inode table: %w", err)
+		}
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, fmt.Errorf("inode: sync format: %w", err)
+	}
+
+	log, err := wal.Open(dev, sb.JournalStart, sb.JournalBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("inode: open journal: %w", err)
+	}
+	fs.log = log
+
+	// Create the root tree inode (ino 1) through the normal journaled path.
+	root, err := fs.AllocInode(ModeTree, "root")
+	if err != nil {
+		return nil, fmt.Errorf("inode: create root: %w", err)
+	}
+	if root != RootIno {
+		return nil, fmt.Errorf("inode: root allocated as %d, want %d", root, RootIno)
+	}
+	return fs, nil
+}
+
+// Mount opens a previously formatted device: it validates the superblock,
+// replays the journal, and loads the allocation bitmap and inode table.
+func Mount(dev blockdev.Device, clock simclock.Clock) (*FS, error) {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, fmt.Errorf("inode: read superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return nil, ErrNotFormatted
+	}
+	var sb superblock
+	enc := buf[8:]
+	vals := make([]uint64, 9)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint64(enc[8*i:])
+	}
+	sb.NBlocks, sb.NInodes = vals[0], vals[1]
+	sb.BitmapStart, sb.BitmapBlocks = vals[2], vals[3]
+	sb.InodeStart, sb.InodeBlocks = vals[4], vals[5]
+	sb.JournalStart, sb.JournalBlocks = vals[6], vals[7]
+	sb.DataStart = vals[8]
+
+	log, err := wal.Open(dev, sb.JournalStart, sb.JournalBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("inode: open journal: %w", err)
+	}
+	if _, err := log.Recover(); err != nil {
+		return nil, fmt.Errorf("inode: journal recovery: %w", err)
+	}
+
+	fs := &FS{
+		dev:      dev,
+		clock:    clock,
+		sb:       sb,
+		log:      log,
+		bitmap:   make([]byte, sb.BitmapBlocks*blockdev.BlockSize),
+		itab:     make([]dinode, sb.NInodes),
+		maxChunk: chunkLimit(sb.JournalBlocks),
+	}
+	for i := uint64(0); i < sb.BitmapBlocks; i++ {
+		if err := dev.ReadBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
+			return nil, fmt.Errorf("inode: read bitmap: %w", err)
+		}
+	}
+	for i := uint64(0); i < sb.InodeBlocks; i++ {
+		if err := dev.ReadBlock(sb.InodeStart+i, buf); err != nil {
+			return nil, fmt.Errorf("inode: read inode table: %w", err)
+		}
+		for j := 0; j < InodesPerBlock; j++ {
+			idx := i*InodesPerBlock + uint64(j)
+			if idx >= sb.NInodes {
+				break
+			}
+			fs.itab[idx] = decodeInode(buf[j*InodeSize : (j+1)*InodeSize])
+		}
+	}
+	return fs, nil
+}
+
+// Device returns the underlying block device (used by residue-scanning
+// experiments and by the IO-driver kernel wiring).
+func (fs *FS) Device() blockdev.Device { return fs.dev }
+
+// JournalRegion reports the journal block range for residue attribution.
+func (fs *FS) JournalRegion() (start, length uint64) {
+	return fs.sb.JournalStart, fs.sb.JournalBlocks
+}
+
+// JournalStats exposes the journal counters.
+func (fs *FS) JournalStats() wal.Stats { return fs.log.Stats() }
+
+// --- inode encoding ---
+
+func encodeInode(d dinode, out []byte) {
+	binary.LittleEndian.PutUint32(out[0:], uint32(d.Mode))
+	binary.LittleEndian.PutUint32(out[4:], d.Links)
+	binary.LittleEndian.PutUint64(out[8:], d.Size)
+	binary.LittleEndian.PutUint64(out[16:], uint64(d.MTimeNano))
+	for i := 0; i < NumDirect; i++ {
+		binary.LittleEndian.PutUint64(out[24+8*i:], d.Direct[i])
+	}
+	binary.LittleEndian.PutUint64(out[24+8*NumDirect:], d.Indirect)
+	binary.LittleEndian.PutUint64(out[32+8*NumDirect:], d.DblInd)
+	tagOff := 40 + 8*NumDirect
+	binary.LittleEndian.PutUint16(out[tagOff:], uint16(len(d.Tag)))
+	copy(out[tagOff+2:tagOff+2+MaxTagLen], d.Tag)
+}
+
+func decodeInode(in []byte) dinode {
+	var d dinode
+	d.Mode = Mode(binary.LittleEndian.Uint32(in[0:]))
+	d.Links = binary.LittleEndian.Uint32(in[4:])
+	d.Size = binary.LittleEndian.Uint64(in[8:])
+	d.MTimeNano = int64(binary.LittleEndian.Uint64(in[16:]))
+	for i := 0; i < NumDirect; i++ {
+		d.Direct[i] = binary.LittleEndian.Uint64(in[24+8*i:])
+	}
+	d.Indirect = binary.LittleEndian.Uint64(in[24+8*NumDirect:])
+	d.DblInd = binary.LittleEndian.Uint64(in[32+8*NumDirect:])
+	tagOff := 40 + 8*NumDirect
+	n := binary.LittleEndian.Uint16(in[tagOff:])
+	if n > MaxTagLen {
+		n = MaxTagLen
+	}
+	d.Tag = string(in[tagOff+2 : tagOff+2+int(n)])
+	return d
+}
+
+// --- block helpers (callers hold fs.mu) ---
+
+// readBlock reads block n, preferring the image buffered in tx so that a
+// transaction observes its own writes.
+func (fs *FS) readBlock(tx *wal.Txn, n uint64, buf []byte) error {
+	if tx != nil {
+		if img, ok := tx.Read(n); ok {
+			copy(buf, img)
+			return nil
+		}
+	}
+	return fs.dev.ReadBlock(n, buf)
+}
+
+// flushInode stages inode ino's table block into tx.
+func (fs *FS) flushInode(tx *wal.Txn, ino Ino) error {
+	idx := uint64(ino)
+	blk := fs.sb.InodeStart + idx/InodesPerBlock
+	buf := make([]byte, blockdev.BlockSize)
+	if err := fs.readBlock(tx, blk, buf); err != nil {
+		return err
+	}
+	off := (idx % InodesPerBlock) * InodeSize
+	encodeInode(fs.itab[idx], buf[off:off+InodeSize])
+	return tx.Write(blk, buf)
+}
+
+// flushBitmapFor stages the bitmap block covering device block b into tx.
+func (fs *FS) flushBitmapFor(tx *wal.Txn, b uint64) error {
+	bmBlk := (b / 8) / blockdev.BlockSize
+	start := bmBlk * blockdev.BlockSize
+	return tx.Write(fs.sb.BitmapStart+bmBlk, fs.bitmap[start:start+blockdev.BlockSize])
+}
+
+// allocBlock finds a free data block, marks it used, and stages the bitmap.
+func (fs *FS) allocBlock(tx *wal.Txn) (uint64, error) {
+	for b := fs.sb.DataStart; b < fs.sb.NBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			fs.bitmap[b/8] |= 1 << (b % 8)
+			if err := fs.flushBitmapFor(tx, b); err != nil {
+				return 0, err
+			}
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeBlock clears a block's bitmap bit. The block contents are NOT zeroed —
+// the same residue semantics as ext4.
+func (fs *FS) freeBlock(tx *wal.Txn, b uint64) error {
+	if b < fs.sb.DataStart || b >= fs.sb.NBlocks {
+		return fmt.Errorf("inode: freeBlock %d outside data region", b)
+	}
+	fs.bitmap[b/8] &^= 1 << (b % 8)
+	return fs.flushBitmapFor(tx, b)
+}
+
+func (fs *FS) checkIno(ino Ino) error {
+	if ino == 0 || uint64(ino) >= fs.sb.NInodes {
+		return fmt.Errorf("%w: %d", ErrBadInode, ino)
+	}
+	if fs.itab[ino].Mode == ModeFree {
+		return fmt.Errorf("%w: %d is free", ErrBadInode, ino)
+	}
+	return nil
+}
+
+// --- public API ---
+
+// AllocInode allocates a fresh inode of the given mode with an optional tag.
+func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
+	if mode == ModeFree {
+		return 0, fmt.Errorf("%w: cannot allocate ModeFree", ErrBadInode)
+	}
+	if len(tag) > MaxTagLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := uint64(1); i < fs.sb.NInodes; i++ {
+		if fs.itab[i].Mode != ModeFree {
+			continue
+		}
+		fs.itab[i] = dinode{
+			Mode:      mode,
+			MTimeNano: fs.clock.Now().UnixNano(),
+			Tag:       tag,
+		}
+		tx := fs.log.Begin()
+		if err := fs.flushInode(tx, Ino(i)); err != nil {
+			tx.Abort()
+			fs.itab[i] = dinode{}
+			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			fs.itab[i] = dinode{}
+			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
+		}
+		return Ino(i), nil
+	}
+	return 0, fmt.Errorf("%w: inode table full", ErrNoSpace)
+}
+
+// FreeInode releases ino and all its data blocks. Tree inodes must be empty.
+// Data blocks are not zeroed; see the package comment.
+func (fs *FS) FreeInode(ino Ino) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return err
+	}
+	d := &fs.itab[ino]
+	if d.Mode == ModeTree && d.Size > 0 {
+		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
+	}
+	tx := fs.log.Begin()
+	if err := fs.freeInodeBlocks(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	fs.itab[ino] = dinode{}
+	if err := fs.flushInode(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// freeInodeBlocks releases every data block mapped by ino.
+func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
+	d := &fs.itab[ino]
+	for i := 0; i < NumDirect; i++ {
+		if d.Direct[i] != 0 {
+			if err := fs.freeBlock(tx, d.Direct[i]); err != nil {
+				return err
+			}
+			d.Direct[i] = 0
+		}
+	}
+	freeIndirect := func(ptrBlock uint64) error {
+		buf := make([]byte, blockdev.BlockSize)
+		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+			return err
+		}
+		for j := 0; j < PtrsPerBlock; j++ {
+			p := binary.LittleEndian.Uint64(buf[8*j:])
+			if p != 0 {
+				if err := fs.freeBlock(tx, p); err != nil {
+					return err
+				}
+			}
+		}
+		return fs.freeBlock(tx, ptrBlock)
+	}
+	if d.Indirect != 0 {
+		if err := freeIndirect(d.Indirect); err != nil {
+			return err
+		}
+		d.Indirect = 0
+	}
+	if d.DblInd != 0 {
+		buf := make([]byte, blockdev.BlockSize)
+		if err := fs.readBlock(tx, d.DblInd, buf); err != nil {
+			return err
+		}
+		for j := 0; j < PtrsPerBlock; j++ {
+			p := binary.LittleEndian.Uint64(buf[8*j:])
+			if p != 0 {
+				if err := freeIndirect(p); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fs.freeBlock(tx, d.DblInd); err != nil {
+			return err
+		}
+		d.DblInd = 0
+	}
+	return nil
+}
+
+// SecureFreeInode zeroes every data block of ino before releasing it. This
+// is the "shred" variant used in ablation experiments; it defeats free-space
+// residue but NOT journal residue (old images are already logged).
+func (fs *FS) SecureFreeInode(ino Ino) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return err
+	}
+	d := &fs.itab[ino]
+	if d.Mode == ModeTree && d.Size > 0 {
+		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
+	}
+	zero := make([]byte, blockdev.BlockSize)
+	nblocks := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
+	// Zero pass: direct device writes bypass the journal on purpose — a
+	// journaled zero write would log the zeros, not remove old images, and
+	// the point of this variant is to scrub home locations only.
+	for bi := uint64(0); bi < nblocks; bi++ {
+		phys, err := fs.bmapLocked(nil, ino, bi, false)
+		if err != nil {
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := fs.dev.WriteBlock(phys, zero); err != nil {
+			return err
+		}
+	}
+	tx := fs.log.Begin()
+	if err := fs.freeInodeBlocks(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	fs.itab[ino] = dinode{}
+	if err := fs.flushInode(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Stat returns metadata for ino.
+func (fs *FS) Stat(ino Ino) (Info, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return Info{}, err
+	}
+	d := fs.itab[ino]
+	return Info{
+		Ino:   ino,
+		Mode:  d.Mode,
+		Size:  d.Size,
+		MTime: time.Unix(0, d.MTimeNano).UTC(),
+		Tag:   d.Tag,
+		Links: d.Links,
+	}, nil
+}
+
+// SetTag replaces the tag of ino.
+func (fs *FS) SetTag(ino Ino, tag string) error {
+	if len(tag) > MaxTagLen {
+		return fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return err
+	}
+	fs.itab[ino].Tag = tag
+	tx := fs.log.Begin()
+	if err := fs.flushInode(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// bmapLocked maps file-relative block bi of ino to a device block. With
+// alloc, missing blocks (and indirect blocks) are allocated inside tx.
+// Returns 0 for a hole when alloc is false.
+func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, error) {
+	d := &fs.itab[ino]
+	if bi < NumDirect {
+		if d.Direct[bi] == 0 && alloc {
+			b, err := fs.allocBlock(tx)
+			if err != nil {
+				return 0, err
+			}
+			d.Direct[bi] = b
+		}
+		return d.Direct[bi], nil
+	}
+	bi -= NumDirect
+
+	// loadPtr reads slot within ptrBlock, allocating through it if needed.
+	loadPtr := func(ptrBlock uint64, slot uint64) (uint64, error) {
+		buf := make([]byte, blockdev.BlockSize)
+		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+			return 0, err
+		}
+		p := binary.LittleEndian.Uint64(buf[8*slot:])
+		if p == 0 && alloc {
+			b, err := fs.allocBlock(tx)
+			if err != nil {
+				return 0, err
+			}
+			binary.LittleEndian.PutUint64(buf[8*slot:], b)
+			if err := tx.Write(ptrBlock, buf); err != nil {
+				return 0, err
+			}
+			p = b
+		}
+		return p, nil
+	}
+
+	if bi < PtrsPerBlock {
+		if d.Indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock(tx)
+			if err != nil {
+				return 0, err
+			}
+			// Fresh pointer block must be zeroed in the txn image.
+			if err := tx.Write(b, make([]byte, blockdev.BlockSize)); err != nil {
+				return 0, err
+			}
+			d.Indirect = b
+		}
+		return loadPtr(d.Indirect, bi)
+	}
+	bi -= PtrsPerBlock
+	if bi >= PtrsPerBlock*PtrsPerBlock {
+		return 0, fmt.Errorf("%w: block index %d", ErrFileTooBig, bi)
+	}
+	if d.DblInd == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		b, err := fs.allocBlock(tx)
+		if err != nil {
+			return 0, err
+		}
+		if err := tx.Write(b, make([]byte, blockdev.BlockSize)); err != nil {
+			return 0, err
+		}
+		d.DblInd = b
+	}
+	l1Slot, l2Slot := bi/PtrsPerBlock, bi%PtrsPerBlock
+	l1, err := loadPtrBlock(fs, tx, d.DblInd, l1Slot, alloc)
+	if err != nil {
+		return 0, err
+	}
+	if l1 == 0 {
+		return 0, nil
+	}
+	return loadPtr(l1, l2Slot)
+}
+
+// loadPtrBlock resolves (and with alloc, creates) the level-1 pointer block
+// at slot within the double-indirect block dbl. New pointer blocks are
+// zero-initialized inside the transaction.
+func loadPtrBlock(fs *FS, tx *wal.Txn, dbl, slot uint64, alloc bool) (uint64, error) {
+	buf := make([]byte, blockdev.BlockSize)
+	if err := fs.readBlock(tx, dbl, buf); err != nil {
+		return 0, err
+	}
+	p := binary.LittleEndian.Uint64(buf[8*slot:])
+	if p == 0 && alloc {
+		b, err := fs.allocBlock(tx)
+		if err != nil {
+			return 0, err
+		}
+		if err := tx.Write(b, make([]byte, blockdev.BlockSize)); err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(buf[8*slot:], b)
+		if err := tx.Write(dbl, buf); err != nil {
+			return 0, err
+		}
+		p = b
+	}
+	return p, nil
+}
+
+// WriteAt writes p at byte offset off in ino, extending the file as needed.
+// Large writes are split across multiple journal transactions, each of which
+// is individually atomic.
+func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return 0, err
+	}
+	if (off+uint64(len(p))+blockdev.BlockSize-1)/blockdev.BlockSize > MaxFileBlocks {
+		return 0, ErrFileTooBig
+	}
+	written := 0
+	for written < len(p) {
+		tx := fs.log.Begin()
+		chunkBlocks := 0
+		for written < len(p) && chunkBlocks < fs.maxChunk {
+			cur := off + uint64(written)
+			bi := cur / blockdev.BlockSize
+			bo := cur % blockdev.BlockSize
+			n := blockdev.BlockSize - bo
+			if int(n) > len(p)-written {
+				n = uint64(len(p) - written)
+			}
+			phys, err := fs.bmapLocked(tx, ino, bi, true)
+			if err != nil {
+				tx.Abort()
+				return written, err
+			}
+			buf := make([]byte, blockdev.BlockSize)
+			if bo != 0 || n != blockdev.BlockSize {
+				if err := fs.readBlock(tx, phys, buf); err != nil {
+					tx.Abort()
+					return written, err
+				}
+			}
+			copy(buf[bo:], p[written:written+int(n)])
+			if err := tx.Write(phys, buf); err != nil {
+				tx.Abort()
+				return written, err
+			}
+			written += int(n)
+			chunkBlocks++
+		}
+		d := &fs.itab[ino]
+		if end := off + uint64(written); end > d.Size {
+			d.Size = end
+		}
+		d.MTimeNano = fs.clock.Now().UnixNano()
+		if err := fs.flushInode(tx, ino); err != nil {
+			tx.Abort()
+			return written, err
+		}
+		if err := tx.Commit(); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadAt reads into p from byte offset off. It returns the number of bytes
+// read; reads beyond the file size are truncated, and a read starting at or
+// past the end returns 0 with no error (the caller checks Size via Stat).
+func (fs *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return 0, err
+	}
+	d := &fs.itab[ino]
+	if off >= d.Size {
+		return 0, nil
+	}
+	if off+uint64(len(p)) > d.Size {
+		p = p[:d.Size-off]
+	}
+	read := 0
+	buf := make([]byte, blockdev.BlockSize)
+	for read < len(p) {
+		cur := off + uint64(read)
+		bi := cur / blockdev.BlockSize
+		bo := cur % blockdev.BlockSize
+		n := blockdev.BlockSize - bo
+		if int(n) > len(p)-read {
+			n = uint64(len(p) - read)
+		}
+		phys, err := fs.bmapLocked(nil, ino, bi, false)
+		if err != nil {
+			return read, err
+		}
+		if phys == 0 {
+			// Hole: zeros.
+			for i := uint64(0); i < n; i++ {
+				p[read+int(i)] = 0
+			}
+		} else {
+			if err := fs.dev.ReadBlock(phys, buf); err != nil {
+				return read, err
+			}
+			copy(p[read:read+int(n)], buf[bo:bo+n])
+		}
+		read += int(n)
+	}
+	return read, nil
+}
+
+// Truncate shrinks ino to size (growing is done by WriteAt). Whole blocks
+// past the new end are freed; the partial tail block is not scrubbed.
+func (fs *FS) Truncate(ino Ino, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(ino); err != nil {
+		return err
+	}
+	d := &fs.itab[ino]
+	if size >= d.Size {
+		return nil
+	}
+	keep := (size + blockdev.BlockSize - 1) / blockdev.BlockSize
+	total := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
+	tx := fs.log.Begin()
+	for bi := keep; bi < total; bi++ {
+		phys, err := fs.bmapLocked(tx, ino, bi, false)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := fs.freeBlock(tx, phys); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := fs.clearMapping(tx, ino, bi); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	d.Size = size
+	d.MTimeNano = fs.clock.Now().UnixNano()
+	if err := fs.flushInode(tx, ino); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// clearMapping zeroes the pointer to file block bi (direct or indirect).
+// Indirect pointer blocks are left allocated for simplicity; FreeInode
+// reclaims them.
+func (fs *FS) clearMapping(tx *wal.Txn, ino Ino, bi uint64) error {
+	d := &fs.itab[ino]
+	if bi < NumDirect {
+		d.Direct[bi] = 0
+		return nil
+	}
+	bi -= NumDirect
+	clearSlot := func(ptrBlock, slot uint64) error {
+		buf := make([]byte, blockdev.BlockSize)
+		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[8*slot:], 0)
+		return tx.Write(ptrBlock, buf)
+	}
+	if bi < PtrsPerBlock {
+		if d.Indirect == 0 {
+			return nil
+		}
+		return clearSlot(d.Indirect, bi)
+	}
+	bi -= PtrsPerBlock
+	if d.DblInd == 0 {
+		return nil
+	}
+	l1, err := loadPtrBlock(fs, tx, d.DblInd, bi/PtrsPerBlock, false)
+	if err != nil || l1 == 0 {
+		return err
+	}
+	return clearSlot(l1, bi%PtrsPerBlock)
+}
+
+// FreeBlocks reports how many data blocks are unallocated.
+func (fs *FS) FreeBlocks() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var free uint64
+	for b := fs.sb.DataStart; b < fs.sb.NBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			free++
+		}
+	}
+	return free
+}

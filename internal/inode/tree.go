@@ -1,0 +1,310 @@
+package inode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements named tree links between inodes. The paper's DBFS is
+// organized as "two major inode trees" (§3): tree inodes here hold a packed
+// list of (name, child-ino) entries in their data bytes, exactly like a
+// minimal directory format. plainfs reuses the same links as directories.
+
+// Dirent is one (name, ino) link inside a tree inode.
+type Dirent struct {
+	Name string
+	Ino  Ino
+}
+
+// maxNameLen bounds link names; DBFS uses names like record ids and field
+// names, plainfs uses path components.
+const maxNameLen = 255
+
+// encodeDirents packs entries into the on-disk format:
+// repeated [u16 len][name bytes][u64 ino].
+func encodeDirents(ents []Dirent) []byte {
+	size := 0
+	for _, e := range ents {
+		size += 2 + len(e.Name) + 8
+	}
+	out := make([]byte, size)
+	off := 0
+	for _, e := range ents {
+		binary.LittleEndian.PutUint16(out[off:], uint16(len(e.Name)))
+		off += 2
+		copy(out[off:], e.Name)
+		off += len(e.Name)
+		binary.LittleEndian.PutUint64(out[off:], uint64(e.Ino))
+		off += 8
+	}
+	return out
+}
+
+// decodeDirents unpacks tree content; a truncated tail is an error because
+// tree mutations are journaled and must never be torn.
+func decodeDirents(b []byte) ([]Dirent, error) {
+	var ents []Dirent
+	off := 0
+	for off < len(b) {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("inode: corrupt tree entry header at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+n+8 > len(b) {
+			return nil, fmt.Errorf("inode: corrupt tree entry body at %d", off)
+		}
+		name := string(b[off : off+n])
+		off += n
+		ino := Ino(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		ents = append(ents, Dirent{Name: name, Ino: ino})
+	}
+	return ents, nil
+}
+
+// loadTree reads and decodes the entries of tree inode t. Caller holds fs.mu.
+func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
+	d := &fs.itab[t]
+	if d.Mode != ModeTree {
+		return nil, fmt.Errorf("%w: inode %d is %v", ErrNotTree, t, d.Mode)
+	}
+	buf := make([]byte, d.Size)
+	// Inline read to avoid re-entering the public locked API.
+	read := 0
+	blk := make([]byte, 4096)
+	for read < len(buf) {
+		cur := uint64(read)
+		bi := cur / 4096
+		bo := cur % 4096
+		n := 4096 - bo
+		if int(n) > len(buf)-read {
+			n = uint64(len(buf) - read)
+		}
+		phys, err := fs.bmapLocked(nil, t, bi, false)
+		if err != nil {
+			return nil, err
+		}
+		if phys == 0 {
+			for i := uint64(0); i < n; i++ {
+				buf[read+int(i)] = 0
+			}
+		} else {
+			if err := fs.dev.ReadBlock(phys, blk); err != nil {
+				return nil, err
+			}
+			copy(buf[read:read+int(n)], blk[bo:bo+n])
+		}
+		read += int(n)
+	}
+	return decodeDirents(buf)
+}
+
+// storeTreeLocked rewrites the full entry list of tree inode t. Caller holds
+// fs.mu. The rewrite shares the WriteAt/Truncate implementations' journaled
+// path by calling their internals directly.
+func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) error {
+	payload := encodeDirents(ents)
+	d := &fs.itab[t]
+	oldSize := d.Size
+
+	// Write new payload (if any), then shrink if the tree got smaller.
+	written := 0
+	for written < len(payload) {
+		tx := fs.log.Begin()
+		chunk := 0
+		for written < len(payload) && chunk < fs.maxChunk {
+			cur := uint64(written)
+			bi := cur / 4096
+			bo := cur % 4096
+			n := uint64(4096 - bo)
+			if int(n) > len(payload)-written {
+				n = uint64(len(payload) - written)
+			}
+			phys, err := fs.bmapLocked(tx, t, bi, true)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			buf := make([]byte, 4096)
+			if bo != 0 || n != 4096 {
+				if err := fs.readBlock(tx, phys, buf); err != nil {
+					tx.Abort()
+					return err
+				}
+			}
+			copy(buf[bo:], payload[written:written+int(n)])
+			if err := tx.Write(phys, buf); err != nil {
+				tx.Abort()
+				return err
+			}
+			written += int(n)
+			chunk++
+		}
+		d.Size = maxU64(d.Size, uint64(written))
+		d.MTimeNano = fs.clock.Now().UnixNano()
+		if err := fs.flushInode(tx, t); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	newSize := uint64(len(payload))
+	if newSize < oldSize {
+		// Shrink: free whole blocks past the new end.
+		keep := (newSize + 4095) / 4096
+		total := (oldSize + 4095) / 4096
+		tx := fs.log.Begin()
+		for bi := keep; bi < total; bi++ {
+			phys, err := fs.bmapLocked(tx, t, bi, false)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			if phys == 0 {
+				continue
+			}
+			if err := fs.freeBlock(tx, phys); err != nil {
+				tx.Abort()
+				return err
+			}
+			if err := fs.clearMapping(tx, t, bi); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		d.Size = newSize
+		d.MTimeNano = fs.clock.Now().UnixNano()
+		if err := fs.flushInode(tx, t); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	} else {
+		d.Size = newSize
+		tx := fs.log.Begin()
+		if err := fs.flushInode(tx, t); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AddChild links child under parent with the given name. The name must be
+// unique within parent.
+func (fs *FS) AddChild(parent Ino, name string, child Ino) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("inode: invalid child name %q", name)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(parent); err != nil {
+		return err
+	}
+	if err := fs.checkIno(child); err != nil {
+		return err
+	}
+	ents, err := fs.loadTreeLocked(parent)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.Name == name {
+			return fmt.Errorf("%w: %q under inode %d", ErrChildExists, name, parent)
+		}
+	}
+	ents = append(ents, Dirent{Name: name, Ino: child})
+	if err := fs.storeTreeLocked(parent, ents); err != nil {
+		return err
+	}
+	fs.itab[child].Links++
+	tx := fs.log.Begin()
+	if err := fs.flushInode(tx, child); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// RemoveChild unlinks the named child from parent. The child inode itself is
+// not freed; callers decide (FreeInode) once Links drops to zero.
+func (fs *FS) RemoveChild(parent Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(parent); err != nil {
+		return err
+	}
+	ents, err := fs.loadTreeLocked(parent)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, e := range ents {
+		if e.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
+	}
+	child := ents[idx].Ino
+	ents = append(ents[:idx], ents[idx+1:]...)
+	if err := fs.storeTreeLocked(parent, ents); err != nil {
+		return err
+	}
+	if uint64(child) < fs.sb.NInodes && fs.itab[child].Mode != ModeFree && fs.itab[child].Links > 0 {
+		fs.itab[child].Links--
+		tx := fs.log.Begin()
+		if err := fs.flushInode(tx, child); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	return nil
+}
+
+// Lookup resolves the named child of parent.
+func (fs *FS) Lookup(parent Ino, name string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(parent); err != nil {
+		return 0, err
+	}
+	ents, err := fs.loadTreeLocked(parent)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		if e.Name == name {
+			return e.Ino, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
+}
+
+// Children lists the links of a tree inode in insertion order.
+func (fs *FS) Children(parent Ino) ([]Dirent, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkIno(parent); err != nil {
+		return nil, err
+	}
+	return fs.loadTreeLocked(parent)
+}

@@ -1,0 +1,240 @@
+// Package lsm simulates the Linux Security Module mediation layer the
+// paper's prototype relies on (§3: "we rely on the Linux Security Module
+// (LSM) framework... SELinux and Smack can do the job").
+//
+// Its job in rgpdOS is to make DBFS invisible from the outside: "DBFS can
+// only be accessed through the components of rgpdOS... every direct access
+// attempt from the outside is blocked" (§2). The reproduction models this
+// with unforgeable capability tokens: the kernel mints a token for the DED
+// (and one for the PS), and every DBFS entry point demands a minted token
+// carrying the right capability. Tokens are compared by identity against
+// the guard's mint registry, so constructing a look-alike token does not
+// grant access — the same property a kernel gets from holding object
+// references in kernel memory.
+//
+// Additional policy hooks can be registered, mirroring LSM's stacked hooks:
+// each hook may allow, deny, or abstain; one deny wins.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Capability is a right a token can carry.
+type Capability int
+
+// Capabilities.
+const (
+	// CapDBFS allows direct DBFS access (held only by the DED,
+	// enforcement rule 4).
+	CapDBFS Capability = iota + 1
+	// CapProcessingStore allows access to stored processings (held only
+	// by the PS, enforcement rule 1).
+	CapProcessingStore
+	// CapMintDED allows instantiating DEDs (held by the PS, which is the
+	// only invocation entry point, enforcement rule 2).
+	CapMintDED
+)
+
+// String names the capability.
+func (c Capability) String() string {
+	switch c {
+	case CapDBFS:
+		return "dbfs"
+	case CapProcessingStore:
+		return "processing-store"
+	case CapMintDED:
+		return "mint-ded"
+	default:
+		return fmt.Sprintf("capability(%d)", int(c))
+	}
+}
+
+// Operation classifies a mediated access.
+type Operation int
+
+// Operations checked by hooks.
+const (
+	OpRead Operation = iota + 1
+	OpWrite
+	OpCreate
+	OpDelete
+	OpScan
+	OpExport
+)
+
+// String names the operation.
+func (o Operation) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpExport:
+		return "export"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// ObjectRef identifies the object of a mediated access.
+type ObjectRef struct {
+	// Class is a coarse object class such as "dbfs", "membrane",
+	// "processing".
+	Class string
+	// ID is the object identifier (pdid, table name, processing name...).
+	ID string
+}
+
+// Decision is a hook verdict.
+type Decision int
+
+// Hook decisions.
+const (
+	// DecisionAbstain defers to other hooks.
+	DecisionAbstain Decision = iota + 1
+	// DecisionAllow votes to allow (but any deny wins).
+	DecisionAllow
+	// DecisionDeny blocks the access.
+	DecisionDeny
+)
+
+// Hook is a stacked policy callback, LSM-style.
+type Hook func(holder string, op Operation, obj ObjectRef) Decision
+
+// Sentinel errors.
+var (
+	// ErrNoToken reports a mediated call without a token.
+	ErrNoToken = errors.New("lsm: access without capability token")
+	// ErrForgedToken reports a token the guard never minted (or revoked).
+	ErrForgedToken = errors.New("lsm: token not minted by this guard")
+	// ErrMissingCapability reports a minted token lacking the capability.
+	ErrMissingCapability = errors.New("lsm: token lacks capability")
+	// ErrDeniedByHook reports a policy hook denial.
+	ErrDeniedByHook = errors.New("lsm: denied by policy hook")
+)
+
+// Token is an unforgeable capability handle. Its fields are unexported;
+// validity is established solely by the guard that minted it.
+type Token struct {
+	holder string
+	caps   map[Capability]bool
+}
+
+// Holder names the component the token was minted for.
+func (t *Token) Holder() string {
+	if t == nil {
+		return ""
+	}
+	return t.holder
+}
+
+// DenialRecord describes one blocked access, for the audit trail.
+type DenialRecord struct {
+	Holder string
+	Op     Operation
+	Obj    ObjectRef
+	Reason string
+}
+
+// Guard is the mediation authority. The machine kernel creates one guard and
+// every protected component checks tokens against it.
+type Guard struct {
+	mu      sync.Mutex
+	minted  map[*Token]bool
+	hooks   []Hook
+	denials []DenialRecord
+}
+
+// NewGuard returns an empty guard.
+func NewGuard() *Guard {
+	return &Guard{minted: make(map[*Token]bool)}
+}
+
+// Mint creates a token for holder carrying caps. Only boot-time wiring
+// (the kernel) should call this.
+func (g *Guard) Mint(holder string, caps ...Capability) *Token {
+	t := &Token{holder: holder, caps: make(map[Capability]bool, len(caps))}
+	for _, c := range caps {
+		t.caps[c] = true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.minted[t] = true
+	return t
+}
+
+// Revoke invalidates a token.
+func (g *Guard) Revoke(t *Token) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.minted, t)
+}
+
+// RegisterHook stacks an additional policy hook.
+func (g *Guard) RegisterHook(h Hook) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hooks = append(g.hooks, h)
+}
+
+// Check mediates an access: the token must be minted by this guard and
+// carry cap, and no stacked hook may deny. On failure the denial is recorded
+// and a sentinel error returned.
+func (g *Guard) Check(t *Token, cap Capability, op Operation, obj ObjectRef) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	deny := func(holder, reason string) error {
+		g.denials = append(g.denials, DenialRecord{Holder: holder, Op: op, Obj: obj, Reason: reason})
+		switch reason {
+		case "no-token":
+			return fmt.Errorf("%w: %s on %s/%s", ErrNoToken, op, obj.Class, obj.ID)
+		case "forged":
+			return fmt.Errorf("%w: holder %q, %s on %s/%s", ErrForgedToken, holder, op, obj.Class, obj.ID)
+		case "missing-capability":
+			return fmt.Errorf("%w: holder %q needs %v for %s on %s/%s",
+				ErrMissingCapability, holder, cap, op, obj.Class, obj.ID)
+		default:
+			return fmt.Errorf("%w: holder %q, %s on %s/%s", ErrDeniedByHook, holder, op, obj.Class, obj.ID)
+		}
+	}
+	if t == nil {
+		return deny("", "no-token")
+	}
+	if !g.minted[t] {
+		return deny(t.holder, "forged")
+	}
+	if !t.caps[cap] {
+		return deny(t.holder, "missing-capability")
+	}
+	for _, h := range g.hooks {
+		if h(t.holder, op, obj) == DecisionDeny {
+			return deny(t.holder, "hook")
+		}
+	}
+	return nil
+}
+
+// Denials returns a copy of the recorded denials.
+func (g *Guard) Denials() []DenialRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DenialRecord, len(g.denials))
+	copy(out, g.denials)
+	return out
+}
+
+// DenialCount reports how many accesses were blocked.
+func (g *Guard) DenialCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.denials)
+}

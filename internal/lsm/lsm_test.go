@@ -1,0 +1,120 @@
+package lsm
+
+import (
+	"errors"
+	"testing"
+)
+
+func obj() ObjectRef { return ObjectRef{Class: "dbfs", ID: "user/alice/1"} }
+
+func TestMintedTokenPasses(t *testing.T) {
+	g := NewGuard()
+	tok := g.Mint("ded-1", CapDBFS)
+	if err := g.Check(tok, CapDBFS, OpRead, obj()); err != nil {
+		t.Fatalf("Check minted token: %v", err)
+	}
+	if tok.Holder() != "ded-1" {
+		t.Fatalf("Holder = %q", tok.Holder())
+	}
+}
+
+func TestNilTokenDenied(t *testing.T) {
+	g := NewGuard()
+	if err := g.Check(nil, CapDBFS, OpRead, obj()); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("nil token err = %v, want ErrNoToken", err)
+	}
+	if g.DenialCount() != 1 {
+		t.Fatalf("DenialCount = %d, want 1", g.DenialCount())
+	}
+}
+
+func TestForgedTokenDenied(t *testing.T) {
+	// A component constructing its own token must be blocked: this is the
+	// "direct access attempt from the outside" of §2.
+	g := NewGuard()
+	forged := &Token{holder: "attacker", caps: map[Capability]bool{CapDBFS: true}}
+	if err := g.Check(forged, CapDBFS, OpRead, obj()); !errors.Is(err, ErrForgedToken) {
+		t.Fatalf("forged token err = %v, want ErrForgedToken", err)
+	}
+}
+
+func TestTokenFromAnotherGuardDenied(t *testing.T) {
+	g1, g2 := NewGuard(), NewGuard()
+	tok := g1.Mint("ded", CapDBFS)
+	if err := g2.Check(tok, CapDBFS, OpRead, obj()); !errors.Is(err, ErrForgedToken) {
+		t.Fatalf("cross-guard token err = %v, want ErrForgedToken", err)
+	}
+}
+
+func TestMissingCapabilityDenied(t *testing.T) {
+	g := NewGuard()
+	tok := g.Mint("ps", CapProcessingStore)
+	if err := g.Check(tok, CapDBFS, OpRead, obj()); !errors.Is(err, ErrMissingCapability) {
+		t.Fatalf("missing cap err = %v, want ErrMissingCapability", err)
+	}
+}
+
+func TestRevokedTokenDenied(t *testing.T) {
+	g := NewGuard()
+	tok := g.Mint("ded", CapDBFS)
+	g.Revoke(tok)
+	if err := g.Check(tok, CapDBFS, OpRead, obj()); !errors.Is(err, ErrForgedToken) {
+		t.Fatalf("revoked token err = %v, want ErrForgedToken", err)
+	}
+}
+
+func TestHookDeny(t *testing.T) {
+	g := NewGuard()
+	tok := g.Mint("ded", CapDBFS)
+	g.RegisterHook(func(holder string, op Operation, o ObjectRef) Decision {
+		if op == OpDelete {
+			return DecisionDeny
+		}
+		return DecisionAbstain
+	})
+	if err := g.Check(tok, CapDBFS, OpRead, obj()); err != nil {
+		t.Fatalf("hook abstain still denied: %v", err)
+	}
+	if err := g.Check(tok, CapDBFS, OpDelete, obj()); !errors.Is(err, ErrDeniedByHook) {
+		t.Fatalf("hook deny err = %v, want ErrDeniedByHook", err)
+	}
+}
+
+func TestOneDenyWins(t *testing.T) {
+	g := NewGuard()
+	tok := g.Mint("ded", CapDBFS)
+	g.RegisterHook(func(string, Operation, ObjectRef) Decision { return DecisionAllow })
+	g.RegisterHook(func(string, Operation, ObjectRef) Decision { return DecisionDeny })
+	if err := g.Check(tok, CapDBFS, OpRead, obj()); !errors.Is(err, ErrDeniedByHook) {
+		t.Fatalf("allow+deny err = %v, want ErrDeniedByHook", err)
+	}
+}
+
+func TestDenialRecords(t *testing.T) {
+	g := NewGuard()
+	_ = g.Check(nil, CapDBFS, OpScan, ObjectRef{Class: "dbfs", ID: "user"})
+	forged := &Token{holder: "mallory"}
+	_ = g.Check(forged, CapDBFS, OpWrite, obj())
+	ds := g.Denials()
+	if len(ds) != 2 {
+		t.Fatalf("Denials = %d, want 2", len(ds))
+	}
+	if ds[0].Reason != "no-token" || ds[1].Reason != "forged" || ds[1].Holder != "mallory" {
+		t.Fatalf("denials = %+v", ds)
+	}
+}
+
+func TestCapabilityAndOperationStrings(t *testing.T) {
+	if CapDBFS.String() != "dbfs" || CapProcessingStore.String() != "processing-store" || CapMintDED.String() != "mint-ded" {
+		t.Fatal("capability names wrong")
+	}
+	names := map[Operation]string{
+		OpRead: "read", OpWrite: "write", OpCreate: "create",
+		OpDelete: "delete", OpScan: "scan", OpExport: "export",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

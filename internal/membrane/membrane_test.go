@@ -1,0 +1,329 @@
+package membrane
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func validMembrane() *Membrane {
+	m := New("user/alice/1", "user", "alice")
+	m.SetConsent("purpose1", Grant{Kind: GrantAll})
+	m.SetConsent("purpose2", Grant{Kind: GrantNone})
+	m.SetConsent("purpose3", Grant{Kind: GrantView, View: "v_ano"})
+	m.CreatedAt = simclock.Epoch
+	m.TTL = 365 * 24 * time.Hour // the paper's "age: 1Y"
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := validMembrane().Validate(); err != nil {
+		t.Fatalf("valid membrane rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Membrane)
+	}{
+		{"missing pdid", func(m *Membrane) { m.PDID = "" }},
+		{"missing type", func(m *Membrane) { m.TypeName = "" }},
+		{"missing subject", func(m *Membrane) { m.SubjectID = "" }},
+		{"bad origin", func(m *Membrane) { m.Origin = 99 }},
+		{"bad sensitivity", func(m *Membrane) { m.Sensitivity = 0 }},
+		{"empty purpose", func(m *Membrane) { m.Consents[""] = Grant{Kind: GrantAll} }},
+		{"view grant without view", func(m *Membrane) { m.Consents["p"] = Grant{Kind: GrantView} }},
+		{"all grant with view", func(m *Membrane) { m.Consents["p"] = Grant{Kind: GrantAll, View: "v"} }},
+		{"bad grant kind", func(m *Membrane) { m.Consents["p"] = Grant{Kind: 42} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := validMembrane()
+			tt.mutate(m)
+			if err := m.Validate(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Validate = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	var nilM *Membrane
+	if err := nilM.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil Validate = %v, want ErrInvalid", err)
+	}
+}
+
+func TestDecideMatrix(t *testing.T) {
+	// The paper's Listing 1 consent block: purpose1: all, purpose2: none,
+	// purpose3: ano (a view).
+	m := validMembrane()
+	now := simclock.Epoch.Add(time.Hour)
+
+	g, err := m.Decide("purpose1", now)
+	if err != nil || g.Kind != GrantAll {
+		t.Fatalf("purpose1: %+v, %v; want GrantAll", g, err)
+	}
+	if _, err := m.Decide("purpose2", now); !errors.Is(err, ErrConsentDenied) {
+		t.Fatalf("purpose2 err = %v, want ErrConsentDenied", err)
+	}
+	g, err = m.Decide("purpose3", now)
+	if err != nil || g.Kind != GrantView || g.View != "v_ano" {
+		t.Fatalf("purpose3: %+v, %v; want view v_ano", g, err)
+	}
+	// Unknown purpose: deny by default.
+	if _, err := m.Decide("marketing", now); !errors.Is(err, ErrConsentDenied) {
+		t.Fatalf("unknown purpose err = %v, want ErrConsentDenied", err)
+	}
+}
+
+func TestDecideTTL(t *testing.T) {
+	m := validMembrane()
+	before := simclock.Epoch.Add(364 * 24 * time.Hour)
+	after := simclock.Epoch.Add(366 * 24 * time.Hour)
+	if _, err := m.Decide("purpose1", before); err != nil {
+		t.Fatalf("pre-TTL Decide: %v", err)
+	}
+	if _, err := m.Decide("purpose1", after); !errors.Is(err, ErrExpired) {
+		t.Fatalf("post-TTL err = %v, want ErrExpired", err)
+	}
+	if !m.ExpiredAt(after) || m.ExpiredAt(before) {
+		t.Fatal("ExpiredAt inconsistent with Decide")
+	}
+	// Zero TTL means no expiry.
+	m.TTL = 0
+	if m.ExpiredAt(after.Add(100 * 365 * 24 * time.Hour)) {
+		t.Fatal("zero TTL expired")
+	}
+}
+
+func TestDecideErasedAndRestricted(t *testing.T) {
+	now := simclock.Epoch.Add(time.Hour)
+	m := validMembrane()
+	m.Erased = true
+	if _, err := m.Decide("purpose1", now); !errors.Is(err, ErrErased) {
+		t.Fatalf("erased err = %v, want ErrErased", err)
+	}
+	m = validMembrane()
+	m.Restricted = true
+	if _, err := m.Decide("purpose1", now); !errors.Is(err, ErrRestricted) {
+		t.Fatalf("restricted err = %v, want ErrRestricted", err)
+	}
+}
+
+func TestConsentMutationBumpsVersion(t *testing.T) {
+	m := New("t/s/1", "t", "s")
+	v0 := m.Version
+	m.SetConsent("p", Grant{Kind: GrantAll})
+	if m.Version != v0+1 {
+		t.Fatalf("Version after SetConsent = %d", m.Version)
+	}
+	m.WithdrawConsent("p")
+	if m.Version != v0+2 {
+		t.Fatalf("Version after Withdraw = %d", m.Version)
+	}
+	if g := m.Consents["p"]; g.Kind != GrantNone {
+		t.Fatalf("withdrawn grant = %+v", g)
+	}
+}
+
+func TestWithdrawOnNilMap(t *testing.T) {
+	m := &Membrane{PDID: "a", TypeName: "b", SubjectID: "c"}
+	m.WithdrawConsent("p") // must not panic
+	if g := m.Consents["p"]; g.Kind != GrantNone {
+		t.Fatalf("grant = %+v", g)
+	}
+}
+
+func TestPurposesSorted(t *testing.T) {
+	m := New("t/s/1", "t", "s")
+	for _, p := range []string{"zeta", "alpha", "mid"} {
+		m.SetConsent(p, Grant{Kind: GrantAll})
+	}
+	got := m.Purposes()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Purposes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := validMembrane()
+	cp := m.Clone()
+	cp.SetConsent("purpose1", Grant{Kind: GrantNone})
+	cp.Collection["web_form"] = "other.html"
+	if g := m.Consents["purpose1"]; g.Kind != GrantAll {
+		t.Fatal("Clone shares consent map")
+	}
+	if m.Collection["web_form"] == "other.html" {
+		t.Fatal("Clone shares collection map")
+	}
+}
+
+func TestCloneForCopyProvenance(t *testing.T) {
+	m := validMembrane()
+	c1 := m.CloneForCopy("user/alice/2")
+	if c1.CopyOf != m.PDID || c1.PDID != "user/alice/2" {
+		t.Fatalf("first copy: %+v", c1)
+	}
+	c2 := c1.CloneForCopy("user/alice/3")
+	if c2.CopyOf != m.PDID {
+		t.Fatalf("copy-of-copy CopyOf = %q, want root %q", c2.CopyOf, m.PDID)
+	}
+	// Consents travel with the copy.
+	if g := c2.Consents["purpose3"]; g.View != "v_ano" {
+		t.Fatalf("copy lost consents: %+v", c2.Consents)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := validMembrane()
+	m.EscrowRef = "escrow-1"
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PDID != m.PDID || got.TTL != m.TTL || got.Version != m.Version ||
+		got.EscrowRef != m.EscrowRef || len(got.Consents) != len(m.Consents) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+	for p, g := range m.Consents {
+		if got.Consents[p] != g {
+			t.Fatalf("consent %q: %+v != %+v", p, got.Consents[p], g)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode([]byte(`{"pdid":""}`)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Decode invalid err = %v, want ErrInvalid", err)
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	err := quick.Check(func(pd, ty, subj string, ttlHours uint16, sens uint8, npurp uint8) bool {
+		if pd == "" || ty == "" || subj == "" {
+			return true // identity fields required; skip
+		}
+		m := New(pd, ty, subj)
+		m.Sensitivity = Sensitivity(int(sens)%3 + 1)
+		m.TTL = time.Duration(ttlHours) * time.Hour
+		m.CreatedAt = simclock.Epoch
+		for i := 0; i < int(npurp%8); i++ {
+			kind := GrantKind(i%3 + 1)
+			g := Grant{Kind: kind}
+			if kind == GrantView {
+				g.View = "v"
+			}
+			m.SetConsent("p"+string(rune('a'+i)), g)
+		}
+		b, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		if got.PDID != m.PDID || got.TTL != m.TTL || len(got.Consents) != len(m.Consents) {
+			return false
+		}
+		for p, g := range m.Consents {
+			if got.Consents[p] != g {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOriginSensitivity(t *testing.T) {
+	for _, s := range []string{"subject", "sysadmin", "third_party", "derived"} {
+		o, err := ParseOrigin(s)
+		if err != nil {
+			t.Fatalf("ParseOrigin(%q): %v", s, err)
+		}
+		if o.String() != s {
+			t.Fatalf("round trip %q -> %v -> %q", s, o, o.String())
+		}
+	}
+	if _, err := ParseOrigin("mars"); err == nil {
+		t.Fatal("ParseOrigin accepted garbage")
+	}
+	// The paper's Listing 1 misspells "hight"; accept it.
+	s, err := ParseSensitivity("hight")
+	if err != nil || s != SensitivityHigh {
+		t.Fatalf("ParseSensitivity(hight) = %v, %v", s, err)
+	}
+	if _, err := ParseSensitivity("extreme"); err == nil {
+		t.Fatal("ParseSensitivity accepted garbage")
+	}
+}
+
+func TestLedgerFamilies(t *testing.T) {
+	l := NewLedger()
+	l.RegisterCopy("a", "b")
+	l.RegisterCopy("a", "c")
+	l.RegisterCopy("b", "d") // copy of a copy joins the same family
+
+	fam := l.Family("d")
+	if len(fam) != 4 {
+		t.Fatalf("Family(d) = %v, want 4 members", fam)
+	}
+	seen := map[string]bool{}
+	for _, id := range fam {
+		seen[id] = true
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if !seen[id] {
+			t.Fatalf("Family(d) missing %q: %v", id, fam)
+		}
+	}
+	// Unregistered id is its own family.
+	if fam := l.Family("solo"); len(fam) != 1 || fam[0] != "solo" {
+		t.Fatalf("Family(solo) = %v", fam)
+	}
+}
+
+func TestLedgerDuplicateRegistration(t *testing.T) {
+	l := NewLedger()
+	l.RegisterCopy("a", "b")
+	l.RegisterCopy("a", "b") // duplicate must not double-count
+	if fam := l.Family("a"); len(fam) != 2 {
+		t.Fatalf("Family after dup registration = %v", fam)
+	}
+}
+
+func TestLedgerForget(t *testing.T) {
+	l := NewLedger()
+	l.RegisterCopy("a", "b")
+	l.Forget("b")
+	if fam := l.Family("a"); len(fam) != 1 {
+		t.Fatalf("Family after Forget = %v", fam)
+	}
+	l.Forget("ghost") // no-op, must not panic
+}
+
+func TestGrantString(t *testing.T) {
+	cases := map[string]Grant{
+		"all":   {Kind: GrantAll},
+		"none":  {Kind: GrantNone},
+		"v_ano": {Kind: GrantView, View: "v_ano"},
+	}
+	for want, g := range cases {
+		if got := g.String(); got != want {
+			t.Fatalf("Grant%+v.String() = %q, want %q", g, got, want)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package ps implements the Processing Store, the second component of
+// rgpdOS and its only entry point (§2): "Its public interface consists of
+// two functions: ps_register and ps_invoke."
+//
+// Register enforces the paper's checks: a function with no specified
+// purpose is rejected outright; a function whose declared accesses do not
+// match its purpose raises an alert that requires explicit sysadmin
+// approval before the processing becomes invocable. Invoke is the only way
+// to run a processing: it instantiates a DED (enforcement rules 1 and 2 —
+// the PS alone holds stored processings and alone mints invocations), and
+// after the run it re-checks the purpose against the *observed* field
+// accesses, raising a dynamic alert on divergence (the runtime half of the
+// §3(4) purpose-matching problem).
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/ded"
+	"repro/internal/purpose"
+)
+
+// State is a processing's registration state.
+type State int
+
+// Processing states.
+const (
+	// StateActive processings can be invoked.
+	StateActive State = iota + 1
+	// StatePending processings await sysadmin approval of an alert.
+	StatePending
+	// StateRejected processings were refused by the sysadmin.
+	StateRejected
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StatePending:
+		return "pending-approval"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrNoPurpose reports registration without a (valid) purpose.
+	ErrNoPurpose = errors.New("ps: function has no specified purpose")
+	// ErrPurposeMismatch reports an implementation wired to a different
+	// purpose name than its declaration.
+	ErrPurposeMismatch = errors.New("ps: implementation purpose does not name the declaration")
+	// ErrAlreadyRegistered reports a duplicate processing name.
+	ErrAlreadyRegistered = errors.New("ps: processing already registered")
+	// ErrPendingApproval reports a registration held for sysadmin review.
+	ErrPendingApproval = errors.New("ps: registration pending sysadmin approval")
+	// ErrNotRegistered reports an invoke of an unknown processing.
+	ErrNotRegistered = errors.New("ps: no such processing")
+	// ErrNotActive reports an invoke of a pending/rejected processing.
+	ErrNotActive = errors.New("ps: processing is not active")
+	// ErrNoAlert reports an unknown alert id.
+	ErrNoAlert = errors.New("ps: no such alert")
+	// ErrMaintenanceReserved reports a maintenance invoke of a
+	// non-builtin processing.
+	ErrMaintenanceReserved = errors.New("ps: maintenance mode is reserved for built-in processings")
+	// ErrNoCollector reports InitCollect without a wired collector.
+	ErrNoCollector = errors.New("ps: no collector wired")
+)
+
+// Processing is one stored (purpose, implementation) pair.
+type Processing struct {
+	Decl    *purpose.Decl
+	Impl    *ded.Func
+	Builtin bool
+	State   State
+}
+
+// Info is the externally visible description of a processing — the
+// implementation itself never leaves the PS (enforcement rule 1).
+type Info struct {
+	Name        string
+	Description string
+	Basis       purpose.Basis
+	Reads       []string
+	Produces    string
+	Builtin     bool
+	State       State
+}
+
+// Alert is a purpose-mismatch report requiring sysadmin attention.
+type Alert struct {
+	ID         uint64
+	Processing string
+	// Phase is "register" (static check) or "dynamic" (post-run check).
+	Phase    string
+	Report   purpose.MatchReport
+	Resolved bool
+	Approved bool
+}
+
+// AcquireFunc populates DBFS from a collection source before an invocation
+// (ps_invoke's data-collection boolean). Wired by the kernel at boot.
+type AcquireFunc func(typeName, method string, subjects []string) (int, error)
+
+// Store is the Processing Store.
+type Store struct {
+	d       *ded.DED
+	log     *audit.Log
+	acquire AcquireFunc
+
+	mu       sync.Mutex
+	procs    map[string]*Processing
+	alerts   []*Alert
+	alertSeq uint64
+	invoked  uint64
+}
+
+// New wires a Processing Store to its DED instance. acquire may be nil if
+// collection-on-invoke is not used.
+func New(d *ded.DED, log *audit.Log, acquire AcquireFunc) *Store {
+	return &Store{d: d, log: log, acquire: acquire, procs: make(map[string]*Processing)}
+}
+
+// Register is ps_register. It validates the declaration, requires the
+// implementation to name its purpose, and statically matches declared
+// accesses against the purpose. A mismatch parks the processing as
+// StatePending behind an alert and returns ErrPendingApproval.
+func (s *Store) Register(decl *purpose.Decl, impl *ded.Func, builtin bool) error {
+	if decl == nil {
+		return fmt.Errorf("%w: nil declaration", ErrNoPurpose)
+	}
+	if err := decl.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoPurpose, err)
+	}
+	if impl == nil {
+		return ded.ErrNotFunc
+	}
+	if err := impl.Validate(); err != nil {
+		return err
+	}
+	if impl.Purpose == "" {
+		return fmt.Errorf("%w: implementation %q", ErrNoPurpose, impl.Name)
+	}
+	if impl.Purpose != decl.Name {
+		return fmt.Errorf("%w: impl %q claims %q, declaration is %q",
+			ErrPurposeMismatch, impl.Name, impl.Purpose, decl.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.procs[decl.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, decl.Name)
+	}
+	p := &Processing{Decl: decl, Impl: impl, Builtin: builtin, State: StateActive}
+	report := purpose.Match(decl, impl.DeclaredReads)
+	if !report.OK {
+		p.State = StatePending
+		s.alertSeq++
+		s.alerts = append(s.alerts, &Alert{
+			ID:         s.alertSeq,
+			Processing: decl.Name,
+			Phase:      "register",
+			Report:     report,
+		})
+		s.procs[decl.Name] = p
+		s.log.Append(audit.KindAlert, decl.Name, "", "", "pending",
+			"undeclared reads: "+strings.Join(report.Undeclared, ","))
+		return fmt.Errorf("%w: %q accesses %v beyond its purpose", ErrPendingApproval,
+			decl.Name, report.Undeclared)
+	}
+	s.procs[decl.Name] = p
+	return nil
+}
+
+// Approve resolves an alert in favour of the processing (explicit sysadmin
+// approval, as the paper requires).
+func (s *Store) Approve(alertID uint64, sysadmin string) error {
+	return s.resolve(alertID, sysadmin, true)
+}
+
+// Reject resolves an alert against the processing.
+func (s *Store) Reject(alertID uint64, sysadmin string) error {
+	return s.resolve(alertID, sysadmin, false)
+}
+
+func (s *Store) resolve(alertID uint64, sysadmin string, approve bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var alert *Alert
+	for _, a := range s.alerts {
+		if a.ID == alertID {
+			alert = a
+			break
+		}
+	}
+	if alert == nil || alert.Resolved {
+		return fmt.Errorf("%w: %d", ErrNoAlert, alertID)
+	}
+	alert.Resolved = true
+	alert.Approved = approve
+	p, ok := s.procs[alert.Processing]
+	if ok && p.State == StatePending {
+		if approve {
+			p.State = StateActive
+		} else {
+			p.State = StateRejected
+		}
+	}
+	outcome := "rejected"
+	if approve {
+		outcome = "approved"
+	}
+	s.log.Append(audit.KindAlert, alert.Processing, "", "", outcome, "sysadmin="+sysadmin)
+	return nil
+}
+
+// Alerts returns copies of all alerts.
+func (s *Store) Alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Alert, 0, len(s.alerts))
+	for _, a := range s.alerts {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// PendingAlerts returns unresolved alerts.
+func (s *Store) PendingAlerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Alert
+	for _, a := range s.alerts {
+		if !a.Resolved {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// Get returns the metadata of a processing (never the implementation).
+func (s *Store) Get(name string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.procs[name]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	return Info{
+		Name:        p.Decl.Name,
+		Description: p.Decl.Description,
+		Basis:       p.Decl.Basis,
+		Reads:       append([]string(nil), p.Decl.Reads...),
+		Produces:    p.Decl.Produces,
+		Builtin:     p.Builtin,
+		State:       p.State,
+	}, nil
+}
+
+// List returns the registered processing names, sorted.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.procs))
+	for name := range s.procs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invocations reports how many ps_invoke calls ran.
+func (s *Store) Invocations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.invoked
+}
+
+// InvokeRequest mirrors ps_invoke's parameters: "the reference of a data
+// processing operation, optionally a reference to PD, a data collection
+// method and a boolean indicating whether or not the data collection
+// function is to be called to initialize DBFS."
+type InvokeRequest struct {
+	// Processing names the registered processing.
+	Processing string
+	// PDRef optionally targets one record.
+	PDRef string
+	// TypeName targets all records of a type when PDRef is empty.
+	TypeName string
+	// SubjectFilter optionally restricts to one subject.
+	SubjectFilter string
+	// Params carries arguments for write builtins.
+	Params map[string]any
+	// CollectMethod and InitCollect trigger acquisition before the run.
+	CollectMethod string
+	InitCollect   bool
+	// CollectSubjects lists the subjects to acquire for.
+	CollectSubjects []string
+	// Maintenance bypasses consent for rights execution; reserved for
+	// built-in processings.
+	Maintenance bool
+}
+
+// Invoke is ps_invoke.
+func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
+	s.mu.Lock()
+	p, ok := s.procs[req.Processing]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, req.Processing)
+	}
+	if p.State != StateActive {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q is %v", ErrNotActive, req.Processing, p.State)
+	}
+	if req.Maintenance && !p.Builtin {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrMaintenanceReserved, req.Processing)
+	}
+	acquire := s.acquire
+	s.mu.Unlock()
+
+	if req.InitCollect {
+		if acquire == nil {
+			return nil, ErrNoCollector
+		}
+		ty := req.TypeName
+		if ty == "" && p.Decl.Produces != "" {
+			ty = p.Decl.Produces
+		}
+		if _, err := acquire(ty, req.CollectMethod, req.CollectSubjects); err != nil {
+			return nil, fmt.Errorf("ps: collection before invoke: %w", err)
+		}
+	}
+
+	res, err := s.d.Run(ded.Invocation{
+		Purpose:       p.Decl,
+		Impl:          p.Impl,
+		PDRef:         req.PDRef,
+		TypeName:      req.TypeName,
+		SubjectFilter: req.SubjectFilter,
+		Params:        req.Params,
+		Maintenance:   req.Maintenance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.invoked++
+	// Dynamic purpose check: observed accesses vs declaration.
+	if report := purpose.Match(p.Decl, res.DynamicReads); !report.OK {
+		s.alertSeq++
+		s.alerts = append(s.alerts, &Alert{
+			ID:         s.alertSeq,
+			Processing: p.Decl.Name,
+			Phase:      "dynamic",
+			Report:     report,
+		})
+		s.log.Append(audit.KindAlert, p.Decl.Name, "", "", "raised",
+			"dynamic undeclared reads: "+strings.Join(report.Undeclared, ","))
+	}
+	s.mu.Unlock()
+	return res, nil
+}

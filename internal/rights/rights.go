@@ -1,0 +1,340 @@
+// Package rights implements the data-subject rights on top of the rgpdOS
+// components — the paper's §4 illustrations (right of access, right to be
+// forgotten) plus the neighbouring rights its mechanisms directly enable
+// (rectification, portability, consent withdrawal, restriction, and the
+// TTL sweeper that enforces storage limitation).
+//
+// Every mutation is routed through the Processing Store's built-in
+// processings in maintenance mode: rights execution is itself a data
+// processing, with a legal-obligation basis, executed by the DED, and
+// recorded in the audit log. The engine adds the cross-record logic the
+// builtins don't have: expanding a subject to all their PD, and following
+// the copy ledger so erasure and consent changes reach every copy
+// (membrane consistency).
+package rights
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/builtins"
+	"repro/internal/dbfs"
+	"repro/internal/ded"
+	"repro/internal/membrane"
+	"repro/internal/ps"
+	"repro/internal/simclock"
+)
+
+// Engine executes data-subject rights.
+type Engine struct {
+	ps    *ps.Store
+	d     *ded.DED
+	log   *audit.Log
+	clock simclock.Clock
+}
+
+// New wires a rights engine.
+func New(p *ps.Store, d *ded.DED, log *audit.Log, clock simclock.Clock) *Engine {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Engine{ps: p, d: d, log: log, clock: clock}
+}
+
+// RecordExport is one PD record in a subject-access report: the data with
+// meaningful keys (the §4 point about exploitable structure) plus the
+// membrane metadata the subject is entitled to see.
+type RecordExport struct {
+	PDID        string            `json:"pdid"`
+	Type        string            `json:"type"`
+	Fields      map[string]any    `json:"fields,omitempty"`
+	Origin      string            `json:"origin"`
+	Sensitivity string            `json:"sensitivity"`
+	CreatedAt   time.Time         `json:"created_at"`
+	TTL         string            `json:"ttl,omitempty"`
+	Consents    map[string]string `json:"consents"`
+	Erased      bool              `json:"erased,omitempty"`
+	Restricted  bool              `json:"restricted,omitempty"`
+	CopyOf      string            `json:"copy_of,omitempty"`
+}
+
+// ProcessingEntry is one row of the per-subject processing history.
+type ProcessingEntry struct {
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Purpose string    `json:"purpose,omitempty"`
+	PDID    string    `json:"pdid,omitempty"`
+	Outcome string    `json:"outcome"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// AccessReport is the Art. 15 subject-access answer: all the subject's PD in
+// structured, machine-readable form, with the processing history "organized
+// so that it can give information about executed processings for each piece
+// of PD" (§4).
+type AccessReport struct {
+	SubjectID   string                       `json:"subject"`
+	GeneratedAt time.Time                    `json:"generated_at"`
+	Data        map[string][]RecordExport    `json:"data"`
+	Processings []ProcessingEntry            `json:"processings"`
+	PerPD       map[string][]ProcessingEntry `json:"per_pd"`
+}
+
+// Access builds the subject-access report. Erased records appear with their
+// membrane metadata but no field values (the operator cannot read them).
+func (e *Engine) Access(subjectID string) (*AccessReport, error) {
+	store, tok := e.d.Store(), e.d.Token()
+	pdids, err := store.ListBySubject(tok, subjectID)
+	if err != nil {
+		return nil, fmt.Errorf("rights: access %s: %w", subjectID, err)
+	}
+	report := &AccessReport{
+		SubjectID:   subjectID,
+		GeneratedAt: e.clock.Now(),
+		Data:        make(map[string][]RecordExport),
+		PerPD:       make(map[string][]ProcessingEntry),
+	}
+	for _, pdid := range pdids {
+		m, err := store.GetMembrane(tok, pdid)
+		if err != nil {
+			return nil, fmt.Errorf("rights: access %s: %w", pdid, err)
+		}
+		exp := RecordExport{
+			PDID:        pdid,
+			Type:        m.TypeName,
+			Origin:      m.Origin.String(),
+			Sensitivity: m.Sensitivity.String(),
+			CreatedAt:   m.CreatedAt,
+			Consents:    make(map[string]string, len(m.Consents)),
+			Erased:      m.Erased,
+			Restricted:  m.Restricted,
+			CopyOf:      m.CopyOf,
+		}
+		if m.TTL > 0 {
+			exp.TTL = m.TTL.String()
+		}
+		for p, g := range m.Consents {
+			exp.Consents[p] = g.String()
+		}
+		if !m.Erased {
+			rec, err := store.GetRecord(tok, pdid)
+			if err != nil {
+				return nil, fmt.Errorf("rights: access %s: %w", pdid, err)
+			}
+			exp.Fields = make(map[string]any, len(rec))
+			for name, v := range rec {
+				exp.Fields[name] = v.Export()
+			}
+		}
+		report.Data[m.TypeName] = append(report.Data[m.TypeName], exp)
+		for _, entry := range e.log.ByPD(pdid) {
+			report.PerPD[pdid] = append(report.PerPD[pdid], toEntry(entry))
+		}
+	}
+	for ty := range report.Data {
+		recs := report.Data[ty]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].PDID < recs[j].PDID })
+	}
+	for _, entry := range e.log.BySubject(subjectID) {
+		report.Processings = append(report.Processings, toEntry(entry))
+	}
+	e.log.Append(audit.KindExport, "", "", subjectID, "ok", "subject access report")
+	return report, nil
+}
+
+func toEntry(entry audit.Entry) ProcessingEntry {
+	return ProcessingEntry{
+		Time:    entry.Time,
+		Kind:    entry.Kind.String(),
+		Purpose: entry.Purpose,
+		PDID:    entry.PDID,
+		Outcome: entry.Outcome,
+		Detail:  entry.Detail,
+	}
+}
+
+// ExportJSON renders the report as indented JSON — "structured and
+// machine-readable", with the field names as keys.
+func ExportJSON(r *AccessReport) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("rights: export: %w", err)
+	}
+	return b, nil
+}
+
+// Portability is the Art. 20 export: the data portion of the access report
+// as JSON (machine-readable for transmission to another operator).
+func (e *Engine) Portability(subjectID string) ([]byte, error) {
+	report, err := e.Access(subjectID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(report.Data, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("rights: portability: %w", err)
+	}
+	return b, nil
+}
+
+// EraseReport summarizes an erasure request.
+type EraseReport struct {
+	SubjectID string
+	// Erased lists the pdids crypto-shredded (copies included).
+	Erased []string
+}
+
+// Erase executes the right to be forgotten for every PD of the subject,
+// following the copy ledger so copies are erased with their originals.
+func (e *Engine) Erase(subjectID string) (*EraseReport, error) {
+	store, tok := e.d.Store(), e.d.Token()
+	pdids, err := store.ListBySubject(tok, subjectID)
+	if err != nil {
+		return nil, fmt.Errorf("rights: erase %s: %w", subjectID, err)
+	}
+	report := &EraseReport{SubjectID: subjectID}
+	seen := make(map[string]bool)
+	for _, pdid := range pdids {
+		for _, member := range e.d.Ledger().Family(pdid) {
+			if seen[member] {
+				continue
+			}
+			seen[member] = true
+			if _, err := e.ps.Invoke(ps.InvokeRequest{
+				Processing:  builtins.EraseName,
+				PDRef:       member,
+				Maintenance: true,
+			}); err != nil {
+				return nil, fmt.Errorf("rights: erase %s: %w", member, err)
+			}
+			report.Erased = append(report.Erased, member)
+		}
+	}
+	sort.Strings(report.Erased)
+	return report, nil
+}
+
+// EraseRecord erases one record and every copy in its family.
+func (e *Engine) EraseRecord(pdid string) ([]string, error) {
+	var erased []string
+	for _, member := range e.d.Ledger().Family(pdid) {
+		if _, err := e.ps.Invoke(ps.InvokeRequest{
+			Processing:  builtins.EraseName,
+			PDRef:       member,
+			Maintenance: true,
+		}); err != nil {
+			return erased, fmt.Errorf("rights: erase %s: %w", member, err)
+		}
+		erased = append(erased, member)
+	}
+	sort.Strings(erased)
+	return erased, nil
+}
+
+// Rectify replaces fields of one record (Art. 16).
+func (e *Engine) Rectify(pdid string, fields dbfs.Record) error {
+	_, err := e.ps.Invoke(ps.InvokeRequest{
+		Processing:  builtins.UpdateName,
+		PDRef:       pdid,
+		Params:      map[string]any{builtins.ParamFields: fields},
+		Maintenance: true,
+	})
+	return err
+}
+
+// SetConsent records a consent grant for one purpose on every PD of the
+// subject (and every copy).
+func (e *Engine) SetConsent(subjectID, purposeName string, g membrane.Grant) error {
+	return e.consentAll(subjectID, purposeName, map[string]any{
+		builtins.ParamPurpose: purposeName,
+		builtins.ParamGrant:   g,
+	})
+}
+
+// WithdrawConsent revokes a purpose's grant on every PD of the subject (and
+// every copy) — Art. 7(3).
+func (e *Engine) WithdrawConsent(subjectID, purposeName string) error {
+	return e.consentAll(subjectID, purposeName, map[string]any{
+		builtins.ParamPurpose: purposeName,
+	})
+}
+
+func (e *Engine) consentAll(subjectID, purposeName string, params map[string]any) error {
+	store, tok := e.d.Store(), e.d.Token()
+	pdids, err := store.ListBySubject(tok, subjectID)
+	if err != nil {
+		return fmt.Errorf("rights: consent %s: %w", subjectID, err)
+	}
+	seen := make(map[string]bool)
+	for _, pdid := range pdids {
+		for _, member := range e.d.Ledger().Family(pdid) {
+			if seen[member] {
+				continue
+			}
+			seen[member] = true
+			if _, err := e.ps.Invoke(ps.InvokeRequest{
+				Processing:  builtins.ConsentName,
+				PDRef:       member,
+				Params:      params,
+				Maintenance: true,
+			}); err != nil {
+				return fmt.Errorf("rights: consent %s on %s: %w", purposeName, member, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Restrict toggles the Art. 18 restriction mark on one record.
+func (e *Engine) Restrict(pdid string, restricted bool) error {
+	_, err := e.ps.Invoke(ps.InvokeRequest{
+		Processing:  builtins.RestrictName,
+		PDRef:       pdid,
+		Params:      map[string]any{builtins.ParamRestricted: restricted},
+		Maintenance: true,
+	})
+	return err
+}
+
+// SweepExpired walks every record and physically deletes those whose TTL
+// elapsed — the storage-limitation duty ("the time to live ... can be used
+// to implement the right to be forgotten", §2). It returns the deleted
+// pdids.
+func (e *Engine) SweepExpired() ([]string, error) {
+	store, tok := e.d.Store(), e.d.Token()
+	subjects, err := store.Subjects(tok)
+	if err != nil {
+		return nil, fmt.Errorf("rights: sweep: %w", err)
+	}
+	now := e.clock.Now()
+	var deleted []string
+	for _, subject := range subjects {
+		pdids, err := store.ListBySubject(tok, subject)
+		if err != nil {
+			return deleted, err
+		}
+		for _, pdid := range pdids {
+			m, err := store.GetMembrane(tok, pdid)
+			if err != nil {
+				return deleted, err
+			}
+			if !m.ExpiredAt(now) {
+				continue
+			}
+			if _, err := e.ps.Invoke(ps.InvokeRequest{
+				Processing:  builtins.DeleteName,
+				PDRef:       pdid,
+				Maintenance: true,
+			}); err != nil {
+				return deleted, fmt.Errorf("rights: sweep %s: %w", pdid, err)
+			}
+			e.d.Ledger().Forget(pdid)
+			deleted = append(deleted, pdid)
+		}
+	}
+	sort.Strings(deleted)
+	return deleted, nil
+}

@@ -1,0 +1,403 @@
+package rights
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/blockdev"
+	"repro/internal/builtins"
+	"repro/internal/cryptoshred"
+	"repro/internal/dbfs"
+	"repro/internal/ded"
+	"repro/internal/inode"
+	"repro/internal/lsm"
+	"repro/internal/membrane"
+	"repro/internal/ps"
+	"repro/internal/purpose"
+	"repro/internal/simclock"
+)
+
+// rig is a full rgpdOS stack for rights tests: DBFS + DED + PS with the
+// builtins registered, plus the rights engine.
+type rig struct {
+	dev    *blockdev.Mem
+	store  *dbfs.Store
+	vault  *cryptoshred.Vault
+	auth   *cryptoshred.Authority
+	log    *audit.Log
+	clock  *simclock.Sim
+	d      *ded.DED
+	ps     *ps.Store
+	engine *Engine
+	tok    *lsm.Token
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	dev := blockdev.MustMem(8192)
+	clock := simclock.NewSim(simclock.Epoch)
+	fs, err := inode.Format(dev, inode.Options{NInodes: 4096, JournalBlocks: 128, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := cryptoshred.NewAuthority(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := lsm.NewGuard()
+	vault := cryptoshred.NewVault(auth.PublicKey())
+	store, err := dbfs.Create(fs, guard, vault, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := guard.Mint("ded", lsm.CapDBFS)
+	log := audit.NewLog(clock)
+	d := ded.New(store, tok, log, membrane.NewLedger(), clock)
+	p := ps.New(d, log, nil)
+	if err := builtins.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{
+		dev: dev, store: store, vault: vault, auth: auth, log: log,
+		clock: clock, d: d, ps: p, engine: New(p, d, log, clock), tok: tok,
+	}
+}
+
+func (r *rig) seedUser(t *testing.T, subject, name string, yob int64) string {
+	t.Helper()
+	sch := &dbfs.Schema{
+		Name: "user",
+		Fields: []dbfs.Field{
+			{Name: "name", Type: dbfs.TypeString},
+			{Name: "year_of_birthdate", Type: dbfs.TypeInt},
+		},
+		Views: []dbfs.View{{Name: "v_ano", Fields: []string{"year_of_birthdate"}}},
+		DefaultConsent: map[string]membrane.Grant{
+			"purpose3": {Kind: membrane.GrantView, View: "v_ano"},
+		},
+		DefaultTTL: 365 * 24 * time.Hour,
+	}
+	if _, err := r.store.SchemaOf(r.tok, "user"); err != nil {
+		if err := r.store.CreateType(r.tok, sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pdid, err := r.store.Insert(r.tok, "user", subject, dbfs.Record{
+		"name": dbfs.S(name), "year_of_birthdate": dbfs.I(yob),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pdid
+}
+
+func TestAccessReportStructure(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "chiraz", "Chiraz Benamor", 1990)
+
+	// Run a processing so the history has an entry.
+	decl := &purpose.Decl{Name: "purpose3", Description: "Compute the age",
+		Basis: purpose.BasisConsent, Reads: []string{"user.year_of_birthdate"}}
+	impl := &ded.Func{Name: "compute_age", Purpose: "purpose3",
+		DeclaredReads: []string{"user.year_of_birthdate"},
+		Fn: func(c *ded.Ctx) (ded.Output, error) {
+			v, err := c.Field("year_of_birthdate")
+			if err != nil {
+				return ded.Output{}, err
+			}
+			return ded.Output{NonPD: 2023 - v.I}, nil
+		}}
+	if err := r.ps.Register(decl, impl, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ps.Invoke(ps.InvokeRequest{Processing: "purpose3", TypeName: "user"}); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := r.engine.Access("chiraz")
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	users := report.Data["user"]
+	if len(users) != 1 {
+		t.Fatalf("Data = %+v", report.Data)
+	}
+	// The §4 point: keys are the meaningful field names, not opaque pairs.
+	if users[0].Fields["name"] != "Chiraz Benamor" {
+		t.Fatalf("Fields = %v", users[0].Fields)
+	}
+	if users[0].Fields["year_of_birthdate"] != int64(1990) {
+		t.Fatalf("Fields = %v", users[0].Fields)
+	}
+	if users[0].Consents["purpose3"] != "v_ano" {
+		t.Fatalf("Consents = %v", users[0].Consents)
+	}
+	// Per-PD processing history present.
+	if len(report.PerPD[pdid]) == 0 {
+		t.Fatal("no per-PD processing history")
+	}
+	found := false
+	for _, e := range report.PerPD[pdid] {
+		if e.Kind == "processing" && e.Purpose == "purpose3" && e.Outcome == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PerPD = %+v", report.PerPD[pdid])
+	}
+
+	// Machine-readable: valid JSON whose keys make sense.
+	raw, err := ExportJSON(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	s := string(raw)
+	for _, key := range []string{`"subject"`, `"year_of_birthdate"`, `"consents"`, `"per_pd"`} {
+		if !strings.Contains(s, key) {
+			t.Fatalf("export missing key %s", key)
+		}
+	}
+}
+
+func TestEraseSubjectEndToEnd(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "alice", "Alice Martin", 1985)
+
+	// The operator loses access; raw media holds no plaintext; authority
+	// can still recover via escrow — the complete §4 model.
+	report, err := r.engine.Erase("alice")
+	if err != nil {
+		t.Fatalf("Erase: %v", err)
+	}
+	if len(report.Erased) != 1 || report.Erased[0] != pdid {
+		t.Fatalf("report = %+v", report)
+	}
+	if _, err := r.store.GetRecord(r.tok, pdid); err == nil {
+		t.Fatal("operator can still read erased PD")
+	}
+	if hits := blockdev.FindResidue(r.dev, []byte("Alice Martin")); len(hits) != 0 {
+		t.Fatalf("plaintext residue at %v", hits)
+	}
+	m, err := r.store.GetMembrane(r.tok, pdid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Erased || m.EscrowRef == "" {
+		t.Fatalf("membrane = %+v", m)
+	}
+	escrow, err := r.vault.Escrow(m.EscrowRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := r.store.RawCiphertext(r.tok, pdid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := r.auth.Recover(escrow, ct)
+	if err != nil {
+		t.Fatalf("authority Recover: %v", err)
+	}
+	if !strings.Contains(string(pt), "Alice Martin") {
+		t.Fatal("authority recovered wrong data")
+	}
+
+	// The erased record still shows in the access report, fields omitted.
+	acc, err := r.engine.Access("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Data["user"][0]; !got.Erased || got.Fields != nil {
+		t.Fatalf("post-erasure export = %+v", got)
+	}
+}
+
+func TestEraseFollowsCopies(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "bob", "Bob Stone", 1970)
+	// Copy via the builtin.
+	res, err := r.ps.Invoke(ps.InvokeRequest{
+		Processing: builtins.CopyName, PDRef: pdid, Maintenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PDRefs) != 1 {
+		t.Fatalf("copy refs = %v", res.PDRefs)
+	}
+	copyID := res.PDRefs[0]
+
+	report, err := r.engine.Erase("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Erased) != 2 {
+		t.Fatalf("Erased = %v, want original+copy", report.Erased)
+	}
+	for _, id := range []string{pdid, copyID} {
+		m, err := r.store.GetMembrane(r.tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Erased {
+			t.Fatalf("%s not erased", id)
+		}
+	}
+}
+
+func TestRectify(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "carol", "Carole", 1991)
+	if err := r.engine.Rectify(pdid, dbfs.Record{"name": dbfs.S("Carole Verified")}); err != nil {
+		t.Fatalf("Rectify: %v", err)
+	}
+	rec, err := r.store.GetRecord(r.tok, pdid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["name"].S != "Carole Verified" || rec["year_of_birthdate"].I != 1991 {
+		t.Fatalf("rec = %v (partial update must keep other fields)", rec)
+	}
+}
+
+func TestConsentPropagationToCopies(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "dora", "Dora", 1969)
+	res, err := r.ps.Invoke(ps.InvokeRequest{Processing: builtins.CopyName, PDRef: pdid, Maintenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyID := res.PDRefs[0]
+
+	if err := r.engine.WithdrawConsent("dora", "purpose3"); err != nil {
+		t.Fatalf("WithdrawConsent: %v", err)
+	}
+	for _, id := range []string{pdid, copyID} {
+		m, err := r.store.GetMembrane(r.tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := m.Consents["purpose3"]; g.Kind != membrane.GrantNone {
+			t.Fatalf("%s consent = %+v (not propagated)", id, g)
+		}
+	}
+	// Re-grant.
+	if err := r.engine.SetConsent("dora", "purpose3", membrane.Grant{Kind: membrane.GrantAll}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := r.store.GetMembrane(r.tok, copyID)
+	if g := m.Consents["purpose3"]; g.Kind != membrane.GrantAll {
+		t.Fatalf("re-grant not propagated: %+v", g)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "erin", "Erin", 2001)
+	if err := r.engine.Restrict(pdid, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.store.GetMembrane(r.tok, pdid)
+	if err != nil || !m.Restricted {
+		t.Fatalf("membrane = %+v, %v", m, err)
+	}
+	if err := r.engine.Restrict(pdid, false); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = r.store.GetMembrane(r.tok, pdid)
+	if m.Restricted {
+		t.Fatal("restriction not lifted")
+	}
+}
+
+func TestSweepExpired(t *testing.T) {
+	r := newRig(t)
+	oldPD := r.seedUser(t, "frank", "Frank", 1950)
+	r.clock.Advance(200 * 24 * time.Hour)
+	freshPD := r.seedUser(t, "grace", "Grace", 1999)
+	// frank's record: 200 days old (TTL 1Y) — not expired yet.
+	deleted, err := r.engine.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 0 {
+		t.Fatalf("premature sweep: %v", deleted)
+	}
+	// +200 more days: frank expired (400d), grace not (200d).
+	r.clock.Advance(200 * 24 * time.Hour)
+	deleted, err = r.engine.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 1 || deleted[0] != oldPD {
+		t.Fatalf("sweep = %v, want [%s]", deleted, oldPD)
+	}
+	if _, err := r.store.GetRecord(r.tok, oldPD); !errors.Is(err, dbfs.ErrNoRecord) {
+		t.Fatalf("expired record still present: %v", err)
+	}
+	if _, err := r.store.GetRecord(r.tok, freshPD); err != nil {
+		t.Fatalf("fresh record deleted: %v", err)
+	}
+}
+
+func TestPortability(t *testing.T) {
+	r := newRig(t)
+	r.seedUser(t, "hana", "Hana", 1988)
+	raw, err := r.engine.Portability("hana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data map[string][]RecordExport
+	if err := json.Unmarshal(raw, &data); err != nil {
+		t.Fatalf("portability export not JSON: %v", err)
+	}
+	if len(data["user"]) != 1 || data["user"][0].Fields["name"] != "Hana" {
+		t.Fatalf("portability data = %+v", data)
+	}
+}
+
+func TestBuiltinBadParams(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "ivy", "Ivy", 1993)
+	// update without fields param
+	_, err := r.ps.Invoke(ps.InvokeRequest{Processing: builtins.UpdateName, PDRef: pdid, Maintenance: true})
+	if !errors.Is(err, builtins.ErrBadParams) {
+		t.Fatalf("update no params err = %v", err)
+	}
+	// consent without purpose
+	_, err = r.ps.Invoke(ps.InvokeRequest{Processing: builtins.ConsentName, PDRef: pdid, Maintenance: true})
+	if !errors.Is(err, builtins.ErrBadParams) {
+		t.Fatalf("consent no params err = %v", err)
+	}
+	// restrict with wrong type
+	_, err = r.ps.Invoke(ps.InvokeRequest{Processing: builtins.RestrictName, PDRef: pdid,
+		Params: map[string]any{builtins.ParamRestricted: "yes"}, Maintenance: true})
+	if !errors.Is(err, builtins.ErrBadParams) {
+		t.Fatalf("restrict bad type err = %v", err)
+	}
+}
+
+func TestAuditTrailSurvivesRights(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "jack", "Jack", 1977)
+	if err := r.engine.Rectify(pdid, dbfs.Record{"name": dbfs.S("Jacques")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.engine.Erase("jack"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.log.Verify(); err != nil {
+		t.Fatalf("audit chain broken: %v", err)
+	}
+	kinds := r.log.CountByKind()
+	if kinds[audit.KindErasure] == 0 || kinds[audit.KindProcessing] == 0 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}

@@ -1,0 +1,193 @@
+// Package sandbox simulates the Seccomp-BPF confinement the paper applies to
+// personal-data processing functions: "We leverage Linux Seccomp BPF to
+// avoid functions which operate on PD to perform syscalls that can leak
+// data" (§3), and "F_pd^r functions are forbidden to make syscalls that
+// could leak PD (e.g., write)" (§2).
+//
+// Since this reproduction executes F_pd functions as Go callbacks rather
+// than processes, the kernel boundary is modeled explicitly: a function
+// receives an *Env and every effect it wants — file writes, network sends,
+// spawning — must go through Env's syscall surface, which consults the DED
+// profile and denies leak-capable calls. Denials are recorded for the audit
+// log, exactly like seccomp's SECCOMP_RET_ERRNO plus logging.
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Syscall enumerates the mediated syscall surface.
+type Syscall int
+
+// Mediated syscalls.
+const (
+	SysRead Syscall = iota + 1
+	SysWrite
+	SysOpen
+	SysClose
+	SysSocket
+	SysSend
+	SysRecv
+	SysExec
+	SysFork
+	SysMmap
+	SysGetTime
+)
+
+var syscallNames = map[Syscall]string{
+	SysRead:    "read",
+	SysWrite:   "write",
+	SysOpen:    "open",
+	SysClose:   "close",
+	SysSocket:  "socket",
+	SysSend:    "send",
+	SysRecv:    "recv",
+	SysExec:    "exec",
+	SysFork:    "fork",
+	SysMmap:    "mmap",
+	SysGetTime: "gettime",
+}
+
+// String names the syscall.
+func (s Syscall) String() string {
+	if n, ok := syscallNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("syscall(%d)", int(s))
+}
+
+// ErrSyscallDenied reports a blocked syscall.
+var ErrSyscallDenied = errors.New("sandbox: syscall denied by profile")
+
+// Profile is a syscall allow-list. The zero value denies everything.
+type Profile struct {
+	name    string
+	allowed map[Syscall]bool
+}
+
+// NewProfile builds a profile allowing exactly the given syscalls.
+func NewProfile(name string, allowed ...Syscall) Profile {
+	m := make(map[Syscall]bool, len(allowed))
+	for _, s := range allowed {
+		m[s] = true
+	}
+	return Profile{name: name, allowed: m}
+}
+
+// Name identifies the profile in audit records.
+func (p Profile) Name() string { return p.name }
+
+// Allows reports whether the profile permits sc.
+func (p Profile) Allows(sc Syscall) bool { return p.allowed[sc] }
+
+// DEDProfile is the confinement applied to F_pd^r functions: computation
+// and reading only. Everything that can move bytes out of the domain —
+// write, open, socket, send, exec, fork, mmap — is denied.
+func DEDProfile() Profile {
+	return NewProfile("ded-fpd", SysRead, SysRecv, SysClose, SysGetTime)
+}
+
+// UnconfinedProfile allows everything; it models the baseline's userspace
+// processes, which no kernel policy restrains.
+func UnconfinedProfile() Profile {
+	all := make([]Syscall, 0, len(syscallNames))
+	for s := range syscallNames {
+		all = append(all, s)
+	}
+	return NewProfile("unconfined", all...)
+}
+
+// Attempt records one mediated syscall.
+type Attempt struct {
+	Sys     Syscall
+	Arg     string
+	Allowed bool
+}
+
+// Monitor mediates syscalls against a profile and records attempts. Safe
+// for concurrent use.
+type Monitor struct {
+	profile Profile
+
+	mu       sync.Mutex
+	attempts []Attempt
+	denied   int
+}
+
+// NewMonitor returns a monitor enforcing profile.
+func NewMonitor(profile Profile) *Monitor {
+	return &Monitor{profile: profile}
+}
+
+// Invoke mediates one syscall. Denied calls return ErrSyscallDenied with
+// the syscall and argument in the message.
+func (m *Monitor) Invoke(sc Syscall, arg string) error {
+	allowed := m.profile.Allows(sc)
+	m.mu.Lock()
+	m.attempts = append(m.attempts, Attempt{Sys: sc, Arg: arg, Allowed: allowed})
+	if !allowed {
+		m.denied++
+	}
+	m.mu.Unlock()
+	if !allowed {
+		return fmt.Errorf("%w: %v(%q) under profile %q", ErrSyscallDenied, sc, arg, m.profile.Name())
+	}
+	return nil
+}
+
+// Attempts returns a copy of the recorded attempts.
+func (m *Monitor) Attempts() []Attempt {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Attempt, len(m.attempts))
+	copy(out, m.attempts)
+	return out
+}
+
+// DeniedCount reports how many attempts were blocked.
+func (m *Monitor) DeniedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.denied
+}
+
+// Env is the world handed to an F_pd function: every externally visible
+// effect routes through the monitor. A function that tries to exfiltrate PD
+// gets ErrSyscallDenied and a durable audit record.
+type Env struct {
+	monitor *Monitor
+}
+
+// NewEnv wraps a monitor.
+func NewEnv(m *Monitor) *Env { return &Env{monitor: m} }
+
+// WriteFile models a write(2)-style attempt to persist bytes outside DBFS.
+func (e *Env) WriteFile(path string, _ []byte) error {
+	return e.monitor.Invoke(SysWrite, path)
+}
+
+// Send models a network send.
+func (e *Env) Send(addr string, _ []byte) error {
+	if err := e.monitor.Invoke(SysSocket, addr); err != nil {
+		return err
+	}
+	return e.monitor.Invoke(SysSend, addr)
+}
+
+// Exec models spawning a program.
+func (e *Env) Exec(cmd string) error {
+	return e.monitor.Invoke(SysExec, cmd)
+}
+
+// Open models opening a file outside DBFS.
+func (e *Env) Open(path string) error {
+	return e.monitor.Invoke(SysOpen, path)
+}
+
+// Now models a clock read (allowed under the DED profile — Listing 2's
+// compute_age needs current_year()).
+func (e *Env) Now() error {
+	return e.monitor.Invoke(SysGetTime, "")
+}

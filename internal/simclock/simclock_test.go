@@ -1,0 +1,94 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimZeroValueStartsAtEpoch(t *testing.T) {
+	var s Sim
+	if got := s.Now(); !got.Equal(Epoch) {
+		t.Fatalf("zero-value Sim.Now() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestNewSimZeroStartIsEpoch(t *testing.T) {
+	s := NewSim(time.Time{})
+	if got := s.Now(); !got.Equal(Epoch) {
+		t.Fatalf("NewSim(zero).Now() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestNewSimCustomStart(t *testing.T) {
+	start := time.Date(2024, time.June, 1, 12, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+	if got := s.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	s := NewSim(Epoch)
+	got := s.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if now := s.Now(); !now.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", now, want)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	s := NewSim(Epoch)
+	s.Advance(-time.Hour)
+	if got := s.Now(); !got.Equal(Epoch) {
+		t.Fatalf("negative Advance moved clock to %v, want %v", got, Epoch)
+	}
+}
+
+func TestSetMonotonic(t *testing.T) {
+	s := NewSim(Epoch)
+	later := Epoch.Add(48 * time.Hour)
+	s.Set(later)
+	if got := s.Now(); !got.Equal(later) {
+		t.Fatalf("Set forward: Now() = %v, want %v", got, later)
+	}
+	s.Set(Epoch) // earlier: must be ignored
+	if got := s.Now(); !got.Equal(later) {
+		t.Fatalf("Set backward moved clock to %v, want %v", got, later)
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	s := NewSim(Epoch)
+	const (
+		workers = 8
+		steps   = 100
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				s.Advance(time.Second)
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(workers * steps * time.Second)
+	if got := s.Now(); !got.Equal(want) {
+		t.Fatalf("concurrent Advance: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRealClockProgresses(t *testing.T) {
+	var r Real
+	a := r.Now()
+	b := r.Now()
+	if b.Before(a) {
+		t.Fatalf("Real clock went backwards: %v then %v", a, b)
+	}
+}

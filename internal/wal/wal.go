@@ -1,0 +1,354 @@
+// Package wal implements a JBD-style physical write-ahead journal over a
+// block device region.
+//
+// Both filesystems in this reproduction use it: the traditional file-based
+// filesystem (internal/plainfs) journals raw block images, and DBFS journals
+// the (already encrypted) images of personal-data blocks. The journal is the
+// centrepiece of the paper's §1 motivating claim: a filesystem's logging
+// mechanism can violate the right to be forgotten, because data deleted at a
+// higher layer survives as block images inside the journal region. The
+// journal-leak experiment (DESIGN.md F2V1) scans this region for residues.
+//
+// On-disk format, one transaction:
+//
+//	[descriptor block] [data block]... [commit block]
+//
+// The descriptor lists the home locations of the data blocks that follow;
+// the commit block seals the transaction with a checksum. Recovery scans the
+// journal region, replays every transaction that has a valid commit block in
+// ascending transaction-id order, and ignores torn tails — the standard
+// redo-logging protocol.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/blockdev"
+)
+
+const (
+	// magic identifies journal metadata blocks.
+	magic uint32 = 0x72677044 // "rgpD"
+
+	blockTypeDescriptor uint32 = 1
+	blockTypeCommit     uint32 = 2
+
+	headerSize = 4 + 4 + 8 + 4 // magic, type, txid, ntags/reserved
+
+	// MaxBlocksPerTxn is the most home blocks a single transaction can
+	// carry: every tag is an 8-byte home block number and all tags must fit
+	// in one descriptor block.
+	MaxBlocksPerTxn = (blockdev.BlockSize - headerSize) / 8
+)
+
+// Sentinel errors.
+var (
+	// ErrTxnTooLarge reports a transaction exceeding MaxBlocksPerTxn.
+	ErrTxnTooLarge = errors.New("wal: transaction exceeds max blocks")
+	// ErrTxnDone reports reuse of a committed or aborted transaction.
+	ErrTxnDone = errors.New("wal: transaction already finished")
+	// ErrJournalFull reports a transaction larger than the journal region.
+	ErrJournalFull = errors.New("wal: transaction larger than journal region")
+	// ErrBadRegion reports an invalid journal region.
+	ErrBadRegion = errors.New("wal: invalid journal region")
+)
+
+// Stats counts journal activity.
+type Stats struct {
+	TxnsCommitted uint64
+	BlocksLogged  uint64
+	TxnsReplayed  uint64
+}
+
+// Log is a write-ahead journal occupying the device blocks
+// [start, start+length). It is safe for concurrent use; transactions are
+// serialized at commit time.
+type Log struct {
+	dev    blockdev.Device
+	start  uint64
+	length uint64
+
+	mu    sync.Mutex
+	head  uint64 // next journal-region block index to write (relative)
+	seq   uint64 // next transaction id
+	stats Stats
+}
+
+// Open attaches a journal to the region [start, start+length) of dev. The
+// region must hold at least three blocks (descriptor + one data + commit).
+// Open does not replay; call Recover first when mounting an existing device.
+func Open(dev blockdev.Device, start, length uint64) (*Log, error) {
+	if length < 3 {
+		return nil, fmt.Errorf("%w: need >= 3 blocks, got %d", ErrBadRegion, length)
+	}
+	if start+length > dev.NumBlocks() {
+		return nil, fmt.Errorf("%w: region [%d,%d) beyond device end %d",
+			ErrBadRegion, start, start+length, dev.NumBlocks())
+	}
+	return &Log{dev: dev, start: start, length: length, seq: 1}, nil
+}
+
+// Stats returns a snapshot of the journal counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Region reports the journal's block range [start, start+length) so
+// experiments can attribute residue hits to the journal area.
+func (l *Log) Region() (start, length uint64) {
+	return l.start, l.length
+}
+
+// Txn is a pending transaction: a buffered set of whole-block writes that
+// become durable atomically at Commit.
+type Txn struct {
+	log  *Log
+	home []uint64
+	data [][]byte
+	done bool
+}
+
+// Begin starts a transaction.
+func (l *Log) Begin() *Txn {
+	return &Txn{log: l}
+}
+
+// Write buffers a whole-block write to home block n. The data is copied, so
+// the caller may reuse the buffer. Writing the same block twice in one
+// transaction replaces the earlier image.
+func (t *Txn) Write(n uint64, data []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(data) != blockdev.BlockSize {
+		return blockdev.ErrBadSize
+	}
+	for i, h := range t.home {
+		if h == n {
+			copy(t.data[i], data)
+			return nil
+		}
+	}
+	if len(t.home) >= MaxBlocksPerTxn {
+		return fmt.Errorf("%w: %d blocks", ErrTxnTooLarge, len(t.home)+1)
+	}
+	cp := make([]byte, blockdev.BlockSize)
+	copy(cp, data)
+	t.home = append(t.home, n)
+	t.data = append(t.data, cp)
+	return nil
+}
+
+// Read returns the buffered image of block n if this transaction wrote it,
+// giving read-your-writes semantics within a transaction.
+func (t *Txn) Read(n uint64) ([]byte, bool) {
+	for i, h := range t.home {
+		if h == n {
+			out := make([]byte, blockdev.BlockSize)
+			copy(out, t.data[i])
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the number of distinct blocks buffered.
+func (t *Txn) Len() int { return len(t.home) }
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	t.done = true
+	t.home, t.data = nil, nil
+}
+
+// Commit makes the transaction durable: it appends descriptor, data images,
+// and a commit block to the journal, syncs, then checkpoints the images to
+// their home locations and syncs again. An empty transaction commits as a
+// no-op.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if len(t.home) == 0 {
+		return nil
+	}
+	l := t.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	needed := uint64(len(t.home) + 2) // descriptor + data + commit
+	if needed > l.length {
+		return fmt.Errorf("%w: txn needs %d blocks, journal has %d", ErrJournalFull, needed, l.length)
+	}
+	// Transactions never wrap: if the tail cannot hold this transaction,
+	// start again from the beginning of the region. Recovery rescans the
+	// whole region, so stale tail blocks are harmless.
+	if l.head+needed > l.length {
+		l.head = 0
+	}
+	txid := l.seq
+	l.seq++
+
+	// Descriptor block.
+	desc := make([]byte, blockdev.BlockSize)
+	binary.LittleEndian.PutUint32(desc[0:], magic)
+	binary.LittleEndian.PutUint32(desc[4:], blockTypeDescriptor)
+	binary.LittleEndian.PutUint64(desc[8:], txid)
+	binary.LittleEndian.PutUint32(desc[16:], uint32(len(t.home)))
+	for i, h := range t.home {
+		binary.LittleEndian.PutUint64(desc[headerSize+8*i:], h)
+	}
+	if err := l.dev.WriteBlock(l.start+l.head, desc); err != nil {
+		return fmt.Errorf("wal: write descriptor: %w", err)
+	}
+
+	// Data images + running checksum.
+	sum := fnv.New64a()
+	_, _ = sum.Write(desc)
+	for i, img := range t.data {
+		if err := l.dev.WriteBlock(l.start+l.head+1+uint64(i), img); err != nil {
+			return fmt.Errorf("wal: write journal data: %w", err)
+		}
+		_, _ = sum.Write(img)
+	}
+
+	// Commit block.
+	com := make([]byte, blockdev.BlockSize)
+	binary.LittleEndian.PutUint32(com[0:], magic)
+	binary.LittleEndian.PutUint32(com[4:], blockTypeCommit)
+	binary.LittleEndian.PutUint64(com[8:], txid)
+	binary.LittleEndian.PutUint64(com[16:], sum.Sum64())
+	if err := l.dev.WriteBlock(l.start+l.head+1+uint64(len(t.home)), com); err != nil {
+		return fmt.Errorf("wal: write commit: %w", err)
+	}
+	if err := l.dev.Sync(); err != nil {
+		return fmt.Errorf("wal: sync journal: %w", err)
+	}
+
+	// Checkpoint: apply images to home locations.
+	for i, h := range t.home {
+		if err := l.dev.WriteBlock(h, t.data[i]); err != nil {
+			return fmt.Errorf("wal: checkpoint block %d: %w", h, err)
+		}
+	}
+	if err := l.dev.Sync(); err != nil {
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+
+	l.head += needed
+	l.stats.TxnsCommitted++
+	l.stats.BlocksLogged += uint64(len(t.home))
+	return nil
+}
+
+// replayTxn is one committed transaction found during recovery.
+type replayTxn struct {
+	txid uint64
+	home []uint64
+	data [][]byte
+}
+
+// Recover scans the journal region, validates transactions, and replays the
+// committed ones in ascending transaction-id order. It returns the number of
+// transactions replayed. Torn transactions (missing or corrupt commit
+// blocks) are skipped, which is the crash-consistency contract.
+func (l *Log) Recover() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var txns []replayTxn
+	buf := make([]byte, blockdev.BlockSize)
+	var maxTxid uint64
+
+	for i := uint64(0); i < l.length; {
+		if err := l.dev.ReadBlock(l.start+i, buf); err != nil {
+			// Unreadable journal block: resync by skipping it.
+			i++
+			continue
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != magic ||
+			binary.LittleEndian.Uint32(buf[4:]) != blockTypeDescriptor {
+			i++
+			continue
+		}
+		txid := binary.LittleEndian.Uint64(buf[8:])
+		ntags := binary.LittleEndian.Uint32(buf[16:])
+		if ntags == 0 || ntags > uint32(MaxBlocksPerTxn) || i+uint64(ntags)+2 > l.length {
+			i++
+			continue
+		}
+		home := make([]uint64, ntags)
+		for j := uint32(0); j < ntags; j++ {
+			home[j] = binary.LittleEndian.Uint64(buf[headerSize+8*j:])
+		}
+		sum := fnv.New64a()
+		_, _ = sum.Write(buf)
+		data := make([][]byte, 0, ntags)
+		ok := true
+		for j := uint32(0); j < ntags; j++ {
+			img := make([]byte, blockdev.BlockSize)
+			if err := l.dev.ReadBlock(l.start+i+1+uint64(j), img); err != nil {
+				ok = false
+				break
+			}
+			_, _ = sum.Write(img)
+			data = append(data, img)
+		}
+		if !ok {
+			i++
+			continue
+		}
+		com := make([]byte, blockdev.BlockSize)
+		if err := l.dev.ReadBlock(l.start+i+1+uint64(ntags), com); err != nil {
+			i++
+			continue
+		}
+		if binary.LittleEndian.Uint32(com[0:]) != magic ||
+			binary.LittleEndian.Uint32(com[4:]) != blockTypeCommit ||
+			binary.LittleEndian.Uint64(com[8:]) != txid ||
+			binary.LittleEndian.Uint64(com[16:]) != sum.Sum64() {
+			// Torn transaction: no valid commit. Skip just the descriptor so
+			// a later descriptor at an odd offset can still be found.
+			i++
+			continue
+		}
+		txns = append(txns, replayTxn{txid: txid, home: home, data: data})
+		if txid > maxTxid {
+			maxTxid = txid
+		}
+		i += uint64(ntags) + 2
+	}
+
+	// Replay in ascending txid order so later images win.
+	for a := 0; a < len(txns); a++ {
+		for b := a + 1; b < len(txns); b++ {
+			if txns[b].txid < txns[a].txid {
+				txns[a], txns[b] = txns[b], txns[a]
+			}
+		}
+	}
+	for _, tx := range txns {
+		for i, h := range tx.home {
+			if err := l.dev.WriteBlock(h, tx.data[i]); err != nil {
+				return 0, fmt.Errorf("wal: replay block %d: %w", h, err)
+			}
+		}
+	}
+	if len(txns) > 0 {
+		if err := l.dev.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync replay: %w", err)
+		}
+	}
+	if maxTxid >= l.seq {
+		l.seq = maxTxid + 1
+	}
+	l.stats.TxnsReplayed += uint64(len(txns))
+	return len(txns), nil
+}
