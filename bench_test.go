@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/bench"
 	"repro/internal/blockdev"
 	"repro/internal/collect"
 	"repro/internal/core"
@@ -498,5 +499,58 @@ func BenchmarkTTLSweep(b *testing.B) {
 		if i == 0 && len(deleted) != 100 {
 			b.Fatalf("first sweep deleted %d", len(deleted))
 		}
+	}
+}
+
+// --- SC1: subject-sharded DBFS + concurrent DED executor ---
+
+// registerScoring registers the SC1 scaling workload (shared with
+// internal/bench.runSC1, which prints the same sweep as a table): a
+// full-view scoring pass under purpose1 whose per-record cost is dominated
+// by simulated processing latency — the part the concurrent executor
+// overlaps across subjects.
+func registerScoring(b *testing.B, s *core.System) {
+	b.Helper()
+	if err := s.PS().Register(bench.ScoreDecl(), bench.ScoreImpl(), false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkInvokeBatch sweeps the DED executor pool over per-subject
+// invocations: serial vs 1/4/16 workers on 64 distinct subjects. With
+// subject-sharded DBFS locks the batch modes scale with workers until the
+// processing latency is fully overlapped.
+func BenchmarkInvokeBatch(b *testing.B) {
+	const n = 64
+	for _, workers := range []int{0, 1, 4, 16} {
+		name := "workers=" + strconv.Itoa(workers)
+		if workers == 0 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, subjects := bootBench(b, n)
+			registerScoring(b, s)
+			reqs := make([]ps.InvokeRequest, len(subjects))
+			for i, subject := range subjects {
+				reqs[i] = ps.InvokeRequest{Processing: "purpose1", TypeName: "user", SubjectFilter: subject}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if workers == 0 {
+					for _, req := range reqs {
+						if _, err := s.PS().Invoke(req); err != nil {
+							b.Fatal(err)
+						}
+					}
+					continue
+				}
+				for _, item := range s.PS().InvokeBatch(reqs, workers) {
+					if item.Err != nil {
+						b.Fatal(item.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inv/s")
+		})
 	}
 }

@@ -3,7 +3,7 @@
 // arXiv:2205.10929).
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), the runnable entry points under cmd/ and examples/, and the
-// benchmark harness in bench_test.go plus cmd/benchfig. EXPERIMENTS.md
-// records paper-claim vs measured for every reproduced artifact.
+// inventory and experiment index), the runnable entry points under cmd/
+// and examples/, and the benchmark harness in bench_test.go plus
+// cmd/benchfig, whose registry regenerates every reproduced artifact.
 package repro

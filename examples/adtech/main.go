@@ -138,6 +138,24 @@ func run() error {
 	}
 	fmt.Printf("  decades represented: %d (no names or emails ever crossed ded_return)\n", len(cohorts))
 
+	// Population-scale fan-out: one invocation per subject, dispatched
+	// concurrently through the DED executor. Distinct subjects land on
+	// distinct DBFS lock shards, so the batch scales with Options.Workers
+	// while each run keeps its own zeroized domain and audit trail.
+	reqs := make([]ps.InvokeRequest, len(subjects))
+	for i, s := range subjects {
+		reqs[i] = ps.InvokeRequest{Processing: "audience_stats", TypeName: "profile", SubjectFilter: s}
+	}
+	perSubject := 0
+	for _, item := range sys.InvokeBatch(reqs) {
+		if item.Err != nil {
+			return item.Err
+		}
+		perSubject += item.Res.Processed
+	}
+	fmt.Printf("  per-subject batch (%d workers): %d invocations, %d profiles processed\n",
+		sys.Workers(), len(reqs), perSubject)
+
 	// A user changes their mind: the very next run excludes them.
 	victim := subjects[0]
 	if err := sys.Rights().WithdrawConsent(victim, "ad_targeting"); err != nil {

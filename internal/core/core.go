@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/audit"
 	"repro/internal/blockdev"
@@ -63,6 +64,10 @@ type Options struct {
 	Machine kernel.MachineOptions
 	// DirectIO bypasses the IO-driver kernels (monolithic ablation, OV3).
 	DirectIO bool
+	// Workers sizes the DED executor pool used by InvokeBatch: how many
+	// invocations (for distinct subjects, thanks to DBFS subject sharding)
+	// run concurrently. Defaults to GOMAXPROCS.
+	Workers int
 }
 
 func (o *Options) withDefaults() {
@@ -86,6 +91,9 @@ func (o *Options) withDefaults() {
 	}
 	if o.Machine.CPUs == 0 {
 		o.Machine = kernel.DefaultMachineOptions()
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -235,6 +243,22 @@ func MustBoot(opts Options) *System {
 // PS is the Processing Store — the only rgpdOS entry point for
 // applications.
 func (s *System) PS() *ps.Store { return s.ps }
+
+// Workers reports the machine's DED executor pool size.
+func (s *System) Workers() int { return s.opts.Workers }
+
+// InvokeBatch runs many ps_invoke requests concurrently on the machine's
+// executor pool (Options.Workers). Outcomes keep request order; see
+// ps.Store.InvokeBatch for the per-request failure semantics.
+func (s *System) InvokeBatch(reqs []ps.InvokeRequest) []ded.BatchItem {
+	return s.ps.InvokeBatch(reqs, s.opts.Workers)
+}
+
+// InvokeAsync runs one ps_invoke request off the caller's goroutine; the
+// outcome arrives on the returned channel.
+func (s *System) InvokeAsync(req ps.InvokeRequest) <-chan ded.BatchItem {
+	return s.ps.InvokeAsync(req)
+}
 
 // Rights is the data-subject rights engine.
 func (s *System) Rights() *rights.Engine { return s.rights }

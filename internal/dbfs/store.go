@@ -71,23 +71,62 @@ type formatEntry struct {
 	Sensitive bool      `json:"sensitive,omitempty"`
 }
 
+// numShards sizes the subject-shard lock table. Subjects hash onto shards,
+// so operations on distinct subjects almost never contend; a power of two
+// keeps the modulo cheap.
+const numShards = 64
+
 // Store is the mounted DBFS. All methods demand an LSM token carrying
 // CapDBFS. Safe for concurrent use.
+//
+// Locking is subject-sharded: per-record state (the record inodes reachable
+// through a subject's trees) is guarded by the shard lock of its subject ID,
+// so the PD hot path for distinct subjects runs in parallel — subjects are
+// the natural unit of parallelism because every DED executes on behalf of
+// exactly one subject's data at a time. Schema, format and sequence state is
+// cross-subject and stays behind a narrow global metaMu. Lock order:
+// shard → metaMu → statsMu (never the reverse). Insert seals its record
+// before taking any Store lock; reads, updates and erasures run their
+// crypto under the subject's shard lock (blocking only that shard), because
+// sealing/unsealing there must serialize with key shredding.
 type Store struct {
 	fs    *inode.FS
 	guard *lsm.Guard
 	vault *cryptoshred.Vault
 	clock simclock.Clock
 
-	mu      sync.Mutex
+	// metaMu guards the type-level maps and the persisted seq files.
+	metaMu  sync.RWMutex
 	schemas map[string]*Schema
 	formats map[string][]formatEntry
 	seqs    map[string]uint64
+
+	// shards serialize per-subject record state; see shardFor.
+	shards [numShards]sync.RWMutex
+
+	statsMu sync.Mutex
 	stats   Stats
 
 	schemaRoot  inode.Ino
 	subjectRoot inode.Ino
 	formatRoot  inode.Ino
+}
+
+// shardFor maps a subject ID onto its lock shard (inline FNV-1a: this runs
+// on every record operation, so it must not allocate).
+func (s *Store) shardFor(subjectID string) *sync.RWMutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(subjectID); i++ {
+		h = (h ^ uint32(subjectID[i])) * 16777619
+	}
+	return &s.shards[h%numShards]
+}
+
+// bumpStats applies a counter mutation under the stats lock.
+func (s *Store) bumpStats(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
 }
 
 // Create formats the DBFS trees on a freshly formatted inode filesystem.
@@ -236,9 +275,21 @@ func (s *Store) check(tok *lsm.Token, op lsm.Operation, id string) error {
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.stats
+}
+
+// schemaFor resolves a type's schema under the meta lock. Schemas are
+// immutable once created, so the returned pointer is safe to use lock-free.
+func (s *Store) schemaFor(typeName string) (*Schema, error) {
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
+	sch, ok := s.schemas[typeName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoType, typeName)
+	}
+	return sch, nil
 }
 
 // CreateType declares a new PD type: it validates the schema, creates the
@@ -253,8 +304,8 @@ func (s *Store) CreateType(tok *lsm.Token, sch *Schema) error {
 	if strings.ContainsRune(sch.Name, '/') {
 		return fmt.Errorf("%w: type name %q contains '/'", ErrBadSchema, sch.Name)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if _, ok := s.schemas[sch.Name]; ok {
 		return fmt.Errorf("%w: %q", ErrTypeExists, sch.Name)
 	}
@@ -298,7 +349,7 @@ func (s *Store) CreateType(tok *lsm.Token, sch *Schema) error {
 	s.schemas[sch.Name] = sch
 	s.formats[sch.Name] = entries
 	s.seqs[sch.Name] = 0
-	s.stats.TypesCreated++
+	s.bumpStats(func(st *Stats) { st.TypesCreated++ })
 	return nil
 }
 
@@ -307,8 +358,8 @@ func (s *Store) Types(tok *lsm.Token) ([]string, error) {
 	if err := s.check(tok, lsm.OpScan, "types"); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	out := make([]string, 0, len(s.schemas))
 	for name := range s.schemas {
 		out = append(out, name)
@@ -322,11 +373,9 @@ func (s *Store) SchemaOf(tok *lsm.Token, name string) (*Schema, error) {
 	if err := s.check(tok, lsm.OpRead, "type/"+name); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sch, ok := s.schemas[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoType, name)
+	sch, err := s.schemaFor(name)
+	if err != nil {
+		return nil, err
 	}
 	cp := *sch
 	return &cp, nil
@@ -350,10 +399,45 @@ func SplitPDID(pdid string) (typeName, subjectID string, rec uint64, err error) 
 	return parts[0], parts[1], n, nil
 }
 
+// ref is a parsed pdid, threaded through the locked helpers so the hot
+// path parses (and validates) each identifier exactly once.
+type ref struct {
+	pdid      string
+	typeName  string
+	subjectID string
+	recNo     uint64
+}
+
+// parseRef validates and splits a pdid.
+func parseRef(pdid string) (ref, error) {
+	typeName, subjectID, recNo, err := SplitPDID(pdid)
+	if err != nil {
+		return ref{}, err
+	}
+	return ref{pdid: pdid, typeName: typeName, subjectID: subjectID, recNo: recNo}, nil
+}
+
+// resolve parses a pdid and resolves its type's schema — the one metaMu
+// round-trip each record operation pays. Schemas are immutable once
+// created, so the pointer stays valid outside the lock.
+func (s *Store) resolve(pdid string) (ref, *Schema, error) {
+	r, err := parseRef(pdid)
+	if err != nil {
+		return ref{}, nil, err
+	}
+	sch, err := s.schemaFor(r.typeName)
+	if err != nil {
+		return ref{}, nil, err
+	}
+	return r, sch, nil
+}
+
 // subjectTypeTree resolves (creating if create is set) the tree inode
 // holding subject's records of the given type, maintaining both major
 // trees: subjects/<subj>/<type> and schema/<type>/subjects/<subj>.
-// Caller holds s.mu.
+// Caller holds the subject's shard lock (write-side when create is set);
+// the inode FS serializes the cross-subject AddChild on the table's
+// subject list internally.
 func (s *Store) subjectTypeTree(typeName, subjectID string, create bool) (inode.Ino, error) {
 	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
 	if errors.Is(err, inode.ErrChildNotFound) {
@@ -409,9 +493,12 @@ func clipTag(s string) string {
 	return s
 }
 
-// nextSeq increments and persists the per-type record counter.
-// Caller holds s.mu.
+// nextSeq increments and persists the per-type record counter under the
+// meta lock — the one remaining global serialization point of an insert,
+// deliberately narrow (one 8-byte journaled write).
 func (s *Store) nextSeq(typeName string) (uint64, error) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	n := s.seqs[typeName] + 1
 	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
 	if err != nil {
@@ -441,11 +528,9 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 	if subjectID == "" || strings.ContainsRune(subjectID, '/') {
 		return "", fmt.Errorf("%w: bad subject id %q", ErrBadPDID, subjectID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sch, ok := s.schemas[typeName]
-	if !ok {
-		return "", fmt.Errorf("%w: %q", ErrNoType, typeName)
+	sch, err := s.schemaFor(typeName)
+	if err != nil {
+		return "", err
 	}
 	if err := validateRecord(sch, rec); err != nil {
 		return "", err
@@ -470,12 +555,16 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 		return "", err
 	}
 
-	tree, err := s.subjectTypeTree(typeName, subjectID, true)
-	if err != nil {
+	// Encode and seal outside the shard lock: the crypto is the expensive
+	// part of an insert and touches only the (internally locked) vault.
+	// Any failure after the first Seal must shred the keys it minted: the
+	// seq counter never reuses this pdid, so without cleanup the vault
+	// would hold live keys for a record that never materialized.
+	fail := func(err error) (string, error) {
+		_, _ = s.vault.Shred(pdid)
+		_, _ = s.vault.Shred(pdid + sensKeySuffix)
 		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
 	}
-	recName := strconv.FormatUint(recNo, 10)
-
 	plainPart, sensPart := partsOf(sch)
 	plainBytes, err := encodeRecordPart(sch, rec, plainPart)
 	if err != nil {
@@ -483,53 +572,59 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 	}
 	sealed, err := s.vault.Seal(pdid, plainBytes)
 	if err != nil {
-		return "", fmt.Errorf("dbfs: insert %s: seal: %w", pdid, err)
+		return fail(fmt.Errorf("seal: %w", err))
 	}
-	if _, err := s.writeFileInode(tree, recName+dataSuffix, "record", sealed); err != nil {
-		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
-	}
+	var sealedSens []byte
 	if len(sensPart) > 0 {
 		sensBytes, err := encodeRecordPart(sch, rec, sensPart)
 		if err != nil {
-			return "", err
+			return fail(err)
 		}
-		sealedSens, err := s.vault.Seal(pdid+sensKeySuffix, sensBytes)
-		if err != nil {
-			return "", fmt.Errorf("dbfs: insert %s: seal sensitive: %w", pdid, err)
-		}
-		if _, err := s.writeFileInode(tree, recName+sensSuffix, "record-sens", sealedSens); err != nil {
-			return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+		if sealedSens, err = s.vault.Seal(pdid+sensKeySuffix, sensBytes); err != nil {
+			return fail(fmt.Errorf("seal sensitive: %w", err))
 		}
 	}
 	memBytes, err := m.Encode()
 	if err != nil {
-		return "", err
+		return fail(err)
 	}
+	shard := s.shardFor(subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	tree, err := s.subjectTypeTree(typeName, subjectID, true)
+	if err != nil {
+		return fail(err)
+	}
+	recName := strconv.FormatUint(recNo, 10)
+	if _, err := s.writeFileInode(tree, recName+dataSuffix, "record", sealed); err != nil {
+		return fail(err)
+	}
+	if sealedSens != nil {
+		if _, err := s.writeFileInode(tree, recName+sensSuffix, "record-sens", sealedSens); err != nil {
+			return fail(err)
+		}
+	}
+	// The membrane lands last: a record becomes visible to listings (which
+	// key on the membrane file) only once it is complete.
 	if _, err := s.writeFileInode(tree, recName+memSuffix, "membrane", memBytes); err != nil {
-		return "", fmt.Errorf("dbfs: insert %s: %w", pdid, err)
+		return fail(err)
 	}
-	s.stats.Inserts++
+	s.bumpStats(func(st *Stats) { st.Inserts++ })
 	return pdid, nil
 }
 
 // recordInos resolves the inode numbers of a record's files. Caller holds
-// s.mu. The sens inode is 0 when the type has no sensitive part.
-func (s *Store) recordInos(pdid string) (tree inode.Ino, data, sens, mem inode.Ino, err error) {
-	typeName, subjectID, recNo, err := SplitPDID(pdid)
+// the subject's shard lock and has already validated the type (resolve).
+// The sens inode is 0 when the type has no sensitive part.
+func (s *Store) recordInos(r ref) (tree inode.Ino, data, sens, mem inode.Ino, err error) {
+	tree, err = s.subjectTypeTree(r.typeName, r.subjectID, false)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	if _, ok := s.schemas[typeName]; !ok {
-		return 0, 0, 0, 0, fmt.Errorf("%w: %q", ErrNoType, typeName)
-	}
-	tree, err = s.subjectTypeTree(typeName, subjectID, false)
-	if err != nil {
-		return 0, 0, 0, 0, err
-	}
-	recName := strconv.FormatUint(recNo, 10)
+	recName := strconv.FormatUint(r.recNo, 10)
 	data, err = s.fs.Lookup(tree, recName+dataSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
-		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, pdid)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, r.pdid)
 	}
 	if err != nil {
 		return 0, 0, 0, 0, err
@@ -542,7 +637,7 @@ func (s *Store) recordInos(pdid string) (tree inode.Ino, data, sens, mem inode.I
 	}
 	mem, err = s.fs.Lookup(tree, recName+memSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
-		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoMembrane, pdid)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoMembrane, r.pdid)
 	}
 	if err != nil {
 		return 0, 0, 0, 0, err
@@ -555,30 +650,72 @@ func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, er
 	if err := s.check(tok, lsm.OpRead, pdid+memSuffix); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.getMembraneLocked(pdid)
+	r, _, err := s.resolve(pdid)
+	if err != nil {
+		return nil, err
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.RLock()
+	defer shard.RUnlock()
+	return s.getMembraneLocked(r)
 }
 
-func (s *Store) getMembraneLocked(pdid string) (*membrane.Membrane, error) {
-	_, _, _, memIno, err := s.recordInos(pdid)
+// getMembraneLocked loads a membrane; caller holds the subject's shard lock
+// (either side).
+func (s *Store) getMembraneLocked(r ref) (*membrane.Membrane, error) {
+	_, _, _, memIno, err := s.recordInos(r)
 	if err != nil {
 		return nil, err
 	}
 	raw, err := readAll(s.fs, memIno)
 	if err != nil {
-		return nil, fmt.Errorf("dbfs: read membrane %s: %w", pdid, err)
+		return nil, fmt.Errorf("dbfs: read membrane %s: %w", r.pdid, err)
 	}
 	m, err := membrane.Decode(raw)
 	if err != nil {
-		return nil, fmt.Errorf("dbfs: membrane %s: %w", pdid, err)
+		return nil, fmt.Errorf("dbfs: membrane %s: %w", r.pdid, err)
 	}
-	s.stats.MembraneReads++
+	s.bumpStats(func(st *Stats) { st.MembraneReads++ })
+	return m, nil
+}
+
+// MutateMembrane applies an atomic read-modify-write to a record's
+// membrane: under the subject's shard lock it loads the freshest stored
+// state, applies mutate, validates and persists. Concurrent mutations of
+// the same record therefore compose instead of overwriting each other
+// (and a mutation can never resurrect an erasure tombstone it did not
+// see). It returns the membrane as persisted.
+func (s *Store) MutateMembrane(tok *lsm.Token, pdid string, mutate func(*membrane.Membrane) error) (*membrane.Membrane, error) {
+	if err := s.check(tok, lsm.OpWrite, pdid+memSuffix); err != nil {
+		return nil, err
+	}
+	r, _, err := s.resolve(pdid)
+	if err != nil {
+		return nil, err
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	m, err := s.getMembraneLocked(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := mutate(m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.putMembraneLocked(r, m); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 // PutMembrane persists an updated membrane (consent changes, erasure marks,
-// restriction flags).
+// restriction flags). It writes the caller's snapshot as-is — concurrent
+// writers should prefer MutateMembrane, which read-modify-writes the stored
+// state atomically.
 func (s *Store) PutMembrane(tok *lsm.Token, m *membrane.Membrane) error {
 	if err := s.check(tok, lsm.OpWrite, m.PDID+memSuffix); err != nil {
 		return err
@@ -586,13 +723,20 @@ func (s *Store) PutMembrane(tok *lsm.Token, m *membrane.Membrane) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.putMembraneLocked(m)
+	r, _, err := s.resolve(m.PDID)
+	if err != nil {
+		return err
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	return s.putMembraneLocked(r, m)
 }
 
-func (s *Store) putMembraneLocked(m *membrane.Membrane) error {
-	tree, _, _, memIno, err := s.recordInos(m.PDID)
+// putMembraneLocked persists a membrane; caller holds the subject's shard
+// write lock.
+func (s *Store) putMembraneLocked(r ref, m *membrane.Membrane) error {
+	tree, _, _, memIno, err := s.recordInos(r)
 	if err != nil {
 		return err
 	}
@@ -608,7 +752,7 @@ func (s *Store) putMembraneLocked(m *membrane.Membrane) error {
 		return err
 	}
 	_ = tree
-	s.stats.MembraneWrites++
+	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
 	return nil
 }
 
@@ -619,29 +763,31 @@ func (s *Store) GetRecord(tok *lsm.Token, pdid string) (Record, error) {
 	if err := s.check(tok, lsm.OpRead, pdid); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.getRecordLocked(pdid)
-}
-
-func (s *Store) getRecordLocked(pdid string) (Record, error) {
-	typeName, _, _, err := SplitPDID(pdid)
+	r, sch, err := s.resolve(pdid)
 	if err != nil {
 		return nil, err
 	}
-	sch := s.schemas[typeName]
-	_, dataIno, sensIno, _, err := s.recordInos(pdid)
+	shard := s.shardFor(r.subjectID)
+	shard.RLock()
+	defer shard.RUnlock()
+	return s.getRecordLocked(r, sch)
+}
+
+// getRecordLocked loads and decrypts a record; caller holds the subject's
+// shard lock (either side) and has resolved the schema.
+func (s *Store) getRecordLocked(r ref, sch *Schema) (Record, error) {
+	_, dataIno, sensIno, _, err := s.recordInos(r)
 	if err != nil {
 		return nil, err
 	}
 	plainPart, sensPart := partsOf(sch)
 	sealed, err := readAll(s.fs, dataIno)
 	if err != nil {
-		return nil, fmt.Errorf("dbfs: read %s: %w", pdid, err)
+		return nil, fmt.Errorf("dbfs: read %s: %w", r.pdid, err)
 	}
-	plainBytes, err := s.vault.Open(pdid, sealed)
+	plainBytes, err := s.vault.Open(r.pdid, sealed)
 	if err != nil {
-		return nil, fmt.Errorf("dbfs: unseal %s: %w", pdid, err)
+		return nil, fmt.Errorf("dbfs: unseal %s: %w", r.pdid, err)
 	}
 	rec, err := decodeRecordPart(sch, plainBytes, plainPart)
 	if err != nil {
@@ -650,11 +796,11 @@ func (s *Store) getRecordLocked(pdid string) (Record, error) {
 	if sensIno != 0 && len(sensPart) > 0 {
 		sealedSens, err := readAll(s.fs, sensIno)
 		if err != nil {
-			return nil, fmt.Errorf("dbfs: read sensitive %s: %w", pdid, err)
+			return nil, fmt.Errorf("dbfs: read sensitive %s: %w", r.pdid, err)
 		}
-		sensBytes, err := s.vault.Open(pdid+sensKeySuffix, sealedSens)
+		sensBytes, err := s.vault.Open(r.pdid+sensKeySuffix, sealedSens)
 		if err != nil {
-			return nil, fmt.Errorf("dbfs: unseal sensitive %s: %w", pdid, err)
+			return nil, fmt.Errorf("dbfs: unseal sensitive %s: %w", r.pdid, err)
 		}
 		sensRec, err := decodeRecordPart(sch, sensBytes, sensPart)
 		if err != nil {
@@ -664,7 +810,7 @@ func (s *Store) getRecordLocked(pdid string) (Record, error) {
 			rec[k] = v
 		}
 	}
-	s.stats.DataReads++
+	s.bumpStats(func(st *Stats) { st.DataReads++ })
 	return rec, nil
 }
 
@@ -674,25 +820,33 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 	if err := s.check(tok, lsm.OpWrite, pdid); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	typeName, _, _, err := SplitPDID(pdid)
+	r, sch, err := s.resolve(pdid)
 	if err != nil {
 		return err
-	}
-	sch, ok := s.schemas[typeName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoType, typeName)
 	}
 	if err := validateRecord(sch, rec); err != nil {
 		return err
 	}
-	_, dataIno, sensIno, _, err := s.recordInos(pdid)
+	// Encode outside the shard lock, but seal INSIDE it: sealing must
+	// serialize with a concurrent Erase's key shredding, so an update of
+	// an already-erased record fails with ErrKeyDestroyed instead of
+	// silently re-writing ciphertext under an escrowed key. The record is
+	// resolved before sealing so a nonexistent pdid never mints keys.
+	plainPart, sensPart := partsOf(sch)
+	plainBytes, err := encodeRecordPart(sch, rec, plainPart)
 	if err != nil {
 		return err
 	}
-	plainPart, sensPart := partsOf(sch)
-	plainBytes, err := encodeRecordPart(sch, rec, plainPart)
+	var sensBytes []byte
+	if len(sensPart) > 0 {
+		if sensBytes, err = encodeRecordPart(sch, rec, sensPart); err != nil {
+			return err
+		}
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	_, dataIno, sensIno, _, err := s.recordInos(r)
 	if err != nil {
 		return err
 	}
@@ -700,21 +854,19 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 	if err != nil {
 		return fmt.Errorf("dbfs: update %s: seal: %w", pdid, err)
 	}
+	var sealedSens []byte
+	if sensBytes != nil {
+		if sealedSens, err = s.vault.Seal(pdid+sensKeySuffix, sensBytes); err != nil {
+			return fmt.Errorf("dbfs: update %s: seal sensitive: %w", pdid, err)
+		}
+	}
 	if err := s.fs.Truncate(dataIno, 0); err != nil {
 		return err
 	}
 	if _, err := s.fs.WriteAt(dataIno, 0, sealed); err != nil {
 		return err
 	}
-	if sensIno != 0 && len(sensPart) > 0 {
-		sensBytes, err := encodeRecordPart(sch, rec, sensPart)
-		if err != nil {
-			return err
-		}
-		sealedSens, err := s.vault.Seal(pdid+sensKeySuffix, sensBytes)
-		if err != nil {
-			return fmt.Errorf("dbfs: update %s: seal sensitive: %w", pdid, err)
-		}
+	if sensIno != 0 && sealedSens != nil {
 		if err := s.fs.Truncate(sensIno, 0); err != nil {
 			return err
 		}
@@ -722,7 +874,7 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 			return err
 		}
 	}
-	s.stats.Updates++
+	s.bumpStats(func(st *Stats) { st.Updates++ })
 	return nil
 }
 
@@ -734,9 +886,14 @@ func (s *Store) Erase(tok *lsm.Token, pdid string) (escrowRef string, err error)
 	if err := s.check(tok, lsm.OpDelete, pdid); err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, err := s.getMembraneLocked(pdid)
+	r, _, err := s.resolve(pdid)
+	if err != nil {
+		return "", err
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	m, err := s.getMembraneLocked(r)
 	if err != nil {
 		return "", err
 	}
@@ -755,10 +912,10 @@ func (s *Store) Erase(tok *lsm.Token, pdid string) (escrowRef string, err error)
 	m.Erased = true
 	m.EscrowRef = rec.Ref
 	m.Version++
-	if err := s.putMembraneLocked(m); err != nil {
+	if err := s.putMembraneLocked(r, m); err != nil {
 		return "", err
 	}
-	s.stats.Erasures++
+	s.bumpStats(func(st *Stats) { st.Erasures++ })
 	return rec.Ref, nil
 }
 
@@ -769,21 +926,25 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 	if err := s.check(tok, lsm.OpDelete, pdid); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, _, recNo, err := SplitPDID(pdid)
+	r, _, err := s.resolve(pdid)
 	if err != nil {
 		return err
 	}
-	tree, dataIno, sensIno, memIno, err := s.recordInos(pdid)
+	shard := s.shardFor(r.subjectID)
+	shard.Lock()
+	defer shard.Unlock()
+	tree, dataIno, sensIno, memIno, err := s.recordInos(r)
 	if err != nil {
 		return err
 	}
-	recName := strconv.FormatUint(recNo, 10)
-	if err := s.fs.RemoveChild(tree, recName+dataSuffix); err != nil {
+	recName := strconv.FormatUint(r.recNo, 10)
+	// Mirror Insert's visibility rule (membrane written last): remove the
+	// membrane FIRST, so the lock-free listings — which key on the
+	// membrane file — never surface a record whose data is already gone.
+	if err := s.fs.RemoveChild(tree, recName+memSuffix); err != nil {
 		return err
 	}
-	if err := s.fs.FreeInode(dataIno); err != nil {
+	if err := s.fs.FreeInode(memIno); err != nil {
 		return err
 	}
 	if sensIno != 0 {
@@ -794,10 +955,10 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 			return err
 		}
 	}
-	if err := s.fs.RemoveChild(tree, recName+memSuffix); err != nil {
+	if err := s.fs.RemoveChild(tree, recName+dataSuffix); err != nil {
 		return err
 	}
-	if err := s.fs.FreeInode(memIno); err != nil {
+	if err := s.fs.FreeInode(dataIno); err != nil {
 		return err
 	}
 	// Shred keys so any residues (ciphertext) stay unreadable forever.
@@ -809,7 +970,7 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 		!errors.Is(err, cryptoshred.ErrNoKey) && !errors.Is(err, cryptoshred.ErrKeyDestroyed) {
 		return err
 	}
-	s.stats.Deletes++
+	s.bumpStats(func(st *Stats) { st.Deletes++ })
 	return nil
 }
 
@@ -819,9 +980,14 @@ func (s *Store) RawCiphertext(tok *lsm.Token, pdid string) ([]byte, error) {
 	if err := s.check(tok, lsm.OpExport, pdid); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, dataIno, _, _, err := s.recordInos(pdid)
+	r, _, err := s.resolve(pdid)
+	if err != nil {
+		return nil, err
+	}
+	shard := s.shardFor(r.subjectID)
+	shard.RLock()
+	defer shard.RUnlock()
+	_, dataIno, _, _, err := s.recordInos(r)
 	if err != nil {
 		return nil, err
 	}
@@ -833,8 +999,8 @@ func (s *Store) Subjects(tok *lsm.Token) ([]string, error) {
 	if err := s.check(tok, lsm.OpScan, "subjects"); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// No shard lock: the inode FS returns a consistent child snapshot, and
+	// a scan concurrent with inserts is inherently a racy point-in-time view.
 	ents, err := s.fs.Children(s.subjectRoot)
 	if err != nil {
 		return nil, err
@@ -852,8 +1018,9 @@ func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error
 	if err := s.check(tok, lsm.OpScan, "subject/"+subjectID); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	shard := s.shardFor(subjectID)
+	shard.RLock()
+	defer shard.RUnlock()
 	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		return nil, nil
@@ -887,11 +1054,11 @@ func (s *Store) ListByType(tok *lsm.Token, typeName string) ([]string, error) {
 	if err := s.check(tok, lsm.OpScan, "type/"+typeName); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.schemas[typeName]; !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoType, typeName)
+	if _, err := s.schemaFor(typeName); err != nil {
+		return nil, err
 	}
+	// Cross-subject scan: like Subjects, a point-in-time view without shard
+	// locks; per-record files are only read later under their shard lock.
 	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
 	if err != nil {
 		return nil, err

@@ -26,13 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/dbfs"
-	"repro/internal/kernel"
 	"repro/internal/lsm"
 	"repro/internal/membrane"
 	"repro/internal/purpose"
@@ -234,6 +233,11 @@ type Result struct {
 // DED executes invocations against DBFS. It holds the CapDBFS token —
 // enforcement rule 4: "DED is the only component that is able to access
 // DBFS directly".
+//
+// A DED is safe for concurrent use: each Run stages its records into a
+// private zeroized kernel.Domain, and DBFS serializes per-subject state
+// behind subject-sharded locks, so invocations for distinct subjects
+// execute in parallel (see RunBatch).
 type DED struct {
 	store  *dbfs.Store
 	tok    *lsm.Token
@@ -241,8 +245,7 @@ type DED struct {
 	clock  simclock.Clock
 	ledger *membrane.Ledger
 
-	mu     sync.Mutex
-	invSeq uint64
+	invSeq atomic.Uint64
 }
 
 // New wires a DED. The token must carry lsm.CapDBFS (minted by the kernel
@@ -267,158 +270,6 @@ func (d *DED) Store() *dbfs.Store { return d.store }
 
 // Token returns the DED's DBFS capability (needed by in-domain components).
 func (d *DED) Token() *lsm.Token { return d.tok }
-
-// Run executes one invocation through the eight-stage pipeline.
-func (d *DED) Run(inv Invocation) (*Result, error) {
-	if inv.Purpose == nil {
-		return nil, fmt.Errorf("%w: invocation without purpose", ErrNotFunc)
-	}
-	if inv.Impl == nil {
-		return nil, fmt.Errorf("%w: invocation without implementation", ErrNotFunc)
-	}
-	if err := inv.Impl.Validate(); err != nil {
-		return nil, err
-	}
-	d.mu.Lock()
-	d.invSeq++
-	invID := d.invSeq
-	d.mu.Unlock()
-
-	res := &Result{Filtered: make(map[string]int)}
-
-	// --- ded_type2req ---
-	start := time.Now()
-	pdids, err := d.expandTargets(inv)
-	res.Timings.Type2Req = time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-
-	// --- ded_load_membrane ---
-	start = time.Now()
-	candidates := make([]candidate, 0, len(pdids))
-	for _, pdid := range pdids {
-		m, err := d.store.GetMembrane(d.tok, pdid)
-		if err != nil {
-			return nil, fmt.Errorf("ded: load membrane %s: %w", pdid, err)
-		}
-		candidates = append(candidates, candidate{pdid: pdid, m: m})
-	}
-	res.Timings.LoadMembrane = time.Since(start)
-
-	// --- ded_filter ---
-	start = time.Now()
-	now := d.clock.Now()
-	var pass []admitted
-	for _, c := range candidates {
-		grant, err := d.decide(c.m, inv, now)
-		if err != nil {
-			res.Filtered[filterReason(err)]++
-			d.log.Append(audit.KindDenial, inv.Purpose.Name, c.pdid, c.m.SubjectID, "filtered", err.Error())
-			continue
-		}
-		pass = append(pass, admitted{pdid: c.pdid, m: c.m, grant: grant})
-	}
-	res.Timings.Filter = time.Since(start)
-
-	// Write pipeline: built-ins mutate DBFS state per record.
-	if inv.Impl.WriteFn != nil {
-		return d.runWrite(inv, res, pass)
-	}
-
-	// --- ded_load_data ---
-	start = time.Now()
-	var sch *dbfs.Schema
-	if len(pass) > 0 {
-		sch, err = d.store.SchemaOf(d.tok, schemaName(inv, pass))
-		if err != nil {
-			return nil, err
-		}
-	}
-	var rows []loaded
-	for _, a := range pass {
-		rec, err := d.store.GetRecord(d.tok, a.pdid)
-		if err != nil {
-			return nil, fmt.Errorf("ded: load data %s: %w", a.pdid, err)
-		}
-		view, err := dbfs.ProjectView(sch, rec, a.grant)
-		if err != nil {
-			return nil, fmt.Errorf("ded: project %s: %w", a.pdid, err)
-		}
-		rows = append(rows, loaded{admitted: a, view: view})
-	}
-	res.Timings.LoadData = time.Since(start)
-
-	// --- ded_execute ---
-	start = time.Now()
-	domain := kernel.NewDomain("ded-" + strconv.FormatUint(invID, 10))
-	defer domain.Zeroize()
-	monitor := sandbox.NewMonitor(sandbox.DEDProfile())
-	env := sandbox.NewEnv(monitor)
-	dynamic := make(map[string]bool)
-	var outputs []Output
-	for _, row := range rows {
-		// Stage the record into the PD's domain: the function executes in
-		// the data's world, not its own (Idea 2).
-		if err := domain.Put(row.pdid, []byte(fmt.Sprint(row.view))); err != nil {
-			return nil, err
-		}
-		ctx := &Ctx{
-			env:       env,
-			clock:     d.clock,
-			pdid:      row.pdid,
-			typeName:  row.m.TypeName,
-			subjectID: row.m.SubjectID,
-			view:      row.view,
-			accessed:  make(map[string]bool),
-		}
-		out, err := inv.Impl.Fn(ctx)
-		for _, ref := range ctx.accessedRefs() {
-			dynamic[ref] = true
-		}
-		if err != nil {
-			d.log.Append(audit.KindProcessing, inv.Purpose.Name, row.pdid, row.m.SubjectID, "error", err.Error())
-			return nil, fmt.Errorf("ded: execute %s on %s: %w", inv.Impl.Name, row.pdid, err)
-		}
-		if err := scrubOutput(out.NonPD, row.view); err != nil {
-			d.log.Append(audit.KindAlert, inv.Purpose.Name, row.pdid, row.m.SubjectID, "blocked", err.Error())
-			return nil, err
-		}
-		outputs = append(outputs, out)
-		res.Processed++
-		d.log.Append(audit.KindProcessing, inv.Purpose.Name, row.pdid, row.m.SubjectID, "ok", inv.Impl.Name)
-	}
-	res.Timings.Execute = time.Since(start)
-
-	// --- ded_build_membrane + ded_store ---
-	for i, out := range outputs {
-		if out.NonPD != nil {
-			res.Outputs = append(res.Outputs, out.NonPD)
-		}
-		if out.Generated == nil {
-			continue
-		}
-		bmStart := time.Now()
-		src := rows[i].m
-		gm := d.buildMembrane(out.Generated, src, now)
-		res.Timings.BuildMembrane += time.Since(bmStart)
-
-		stStart := time.Now()
-		ref, err := d.store.Insert(d.tok, out.Generated.TypeName, out.Generated.SubjectID, out.Generated.Fields, gm)
-		if err != nil {
-			return nil, fmt.Errorf("ded: store generated PD: %w", err)
-		}
-		d.ledger.RegisterCopy(rows[i].pdid, ref)
-		res.PDRefs = append(res.PDRefs, ref)
-		res.Timings.Store += time.Since(stStart)
-	}
-
-	// --- ded_return ---
-	start = time.Now()
-	res.DynamicReads = keysSorted(dynamic)
-	res.Timings.Return = time.Since(start)
-	return res, nil
-}
 
 // expandTargets implements ded_type2req.
 func (d *DED) expandTargets(inv Invocation) ([]string, error) {

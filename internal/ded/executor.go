@@ -1,0 +1,63 @@
+package ded
+
+// The batch executor runs many DED pipelines concurrently. Subjects are the
+// natural unit of parallelism in rgpdOS — every DED instance executes on one
+// subject's data inside its own zeroized kernel.Domain, and DBFS shards its
+// record locks by subject — so invocations targeting distinct subjects never
+// contend on shared mutable state and scale with workers. Invocations that
+// touch the same subject are race-free at the record level: the subject's
+// DBFS shard lock serializes each access, and membrane mutations are atomic
+// read-modify-writes of the stored state (dbfs.MutateMembrane). Between
+// whole invocations the ordering is last-writer-wins, exactly as for two
+// independent clients invoking serially in an unspecified order.
+
+import (
+	"sync"
+)
+
+// BatchItem pairs one invocation's result with its error; exactly one of
+// Res/Err is set. Results keep the order of the submitted invocations.
+type BatchItem struct {
+	Res *Result
+	Err error
+}
+
+// RunBatch executes the invocations on a pool of workers goroutines, each
+// invocation through the full eight-stage pipeline in its own domain. A
+// workers value below one, or above the batch size, is clamped. Failures
+// are per-invocation: one failing run never aborts its siblings.
+func (d *DED) RunBatch(invs []Invocation, workers int) []BatchItem {
+	out := make([]BatchItem, len(invs))
+	if len(invs) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(invs) {
+		workers = len(invs)
+	}
+	if workers == 1 {
+		for i, inv := range invs {
+			out[i].Res, out[i].Err = d.Run(inv)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i].Res, out[i].Err = d.Run(invs[i])
+			}
+		}()
+	}
+	for i := range invs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -2,7 +2,6 @@ package ded
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/audit"
 	"repro/internal/dbfs"
@@ -30,7 +29,9 @@ func (w *WriteCtx) PDID() string { return w.pdid }
 // SubjectID identifies the data subject.
 func (w *WriteCtx) SubjectID() string { return w.m.SubjectID }
 
-// Membrane returns a copy of the record's membrane.
+// Membrane returns a copy of the record's membrane as admitted by
+// ded_filter (a snapshot; consent mutations below re-read the stored state
+// atomically rather than writing this snapshot back).
 func (w *WriteCtx) Membrane() *membrane.Membrane { return w.m.Clone() }
 
 // Params returns the operator-supplied arguments of the invocation.
@@ -91,53 +92,49 @@ func (w *WriteCtx) Delete() error {
 	return nil
 }
 
-// SetConsent records a consent decision on the membrane.
+// SetConsent records a consent decision on the membrane. The mutation is
+// an atomic read-modify-write of the stored membrane, so concurrent
+// consent changes on the same record compose instead of overwriting each
+// other with stale snapshots.
 func (w *WriteCtx) SetConsent(purposeName string, g membrane.Grant) error {
-	w.m.SetConsent(purposeName, g)
-	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+	m, err := w.d.store.MutateMembrane(w.d.tok, w.pdid, func(m *membrane.Membrane) error {
+		m.SetConsent(purposeName, g)
+		return nil
+	})
+	if err != nil {
 		return err
 	}
+	w.m = m
 	w.d.log.Append(audit.KindConsentChange, purposeName, w.pdid, w.m.SubjectID, "ok", "grant="+g.String())
 	return nil
 }
 
 // WithdrawConsent revokes a purpose's grant (Art. 7(3)).
 func (w *WriteCtx) WithdrawConsent(purposeName string) error {
-	w.m.WithdrawConsent(purposeName)
-	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+	m, err := w.d.store.MutateMembrane(w.d.tok, w.pdid, func(m *membrane.Membrane) error {
+		m.WithdrawConsent(purposeName)
+		return nil
+	})
+	if err != nil {
 		return err
 	}
+	w.m = m
 	w.d.log.Append(audit.KindConsentChange, purposeName, w.pdid, w.m.SubjectID, "ok", "withdrawn")
 	return nil
 }
 
 // SetRestricted toggles the Art. 18 restriction flag.
 func (w *WriteCtx) SetRestricted(restricted bool) error {
-	w.m.Restricted = restricted
-	w.m.Version++
-	if err := w.d.store.PutMembrane(w.d.tok, w.m); err != nil {
+	m, err := w.d.store.MutateMembrane(w.d.tok, w.pdid, func(m *membrane.Membrane) error {
+		m.Restricted = restricted
+		m.Version++
+		return nil
+	})
+	if err != nil {
 		return err
 	}
+	w.m = m
 	w.d.log.Append(audit.KindConsentChange, w.inv.Purpose.Name, w.pdid, w.m.SubjectID, "ok",
 		fmt.Sprintf("restricted=%t", restricted))
 	return nil
-}
-
-// runWrite is the F_pd^w tail of the pipeline: per admitted record, the
-// builtin mutates DBFS through the WriteCtx. ded_load_data/ded_execute
-// merge (builtins load what they need), and generated refs flow to
-// ded_return as usual.
-func (d *DED) runWrite(inv Invocation, res *Result, pass []admitted) (*Result, error) {
-	start := time.Now()
-	for _, a := range pass {
-		w := &WriteCtx{d: d, inv: &inv, pdid: a.pdid, m: a.m.Clone()}
-		if err := inv.Impl.WriteFn(w); err != nil {
-			d.log.Append(audit.KindProcessing, inv.Purpose.Name, a.pdid, a.m.SubjectID, "error", err.Error())
-			return nil, fmt.Errorf("ded: %s on %s: %w", inv.Impl.Name, a.pdid, err)
-		}
-		res.PDRefs = append(res.PDRefs, w.generated...)
-		res.Processed++
-	}
-	res.Timings.Execute = time.Since(start)
-	return res, nil
 }

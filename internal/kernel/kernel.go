@@ -390,7 +390,9 @@ func (p *Partitioner) Shares() []Share {
 	return out
 }
 
-// Free reports unassigned resources.
+// Free reports unassigned resources. CPU shares are floats summed in map
+// order, so a fully partitioned machine can accumulate rounding noise; free
+// amounts below one part per million of a CPU collapse to exactly zero.
 func (p *Partitioner) Free() (cpus float64, pages uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -398,6 +400,9 @@ func (p *Partitioner) Free() (cpus float64, pages uint64) {
 	for _, s := range p.shares {
 		cpus -= s.CPUs
 		pages -= s.MemPages
+	}
+	if cpus < 1e-6 && cpus > -1e-6 {
+		cpus = 0
 	}
 	return cpus, pages
 }

@@ -1,0 +1,186 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/dbfs"
+	"repro/internal/ded"
+)
+
+// seedSubjects inserts one user record per subject and returns the subject
+// IDs.
+func (e *env) seedSubjects(t *testing.T, n int) []string {
+	t.Helper()
+	if err := e.store.CreateType(e.tok, userSchema()); err != nil {
+		t.Fatal(err)
+	}
+	subjects := make([]string, n)
+	for i := range subjects {
+		subjects[i] = "subj-" + strconv.Itoa(i)
+		if _, err := e.store.Insert(e.tok, "user", subjects[i], dbfs.Record{
+			"name": dbfs.S("User " + strconv.Itoa(i)), "year_of_birthdate": dbfs.I(int64(1960 + i%40)),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return subjects
+}
+
+func TestInvokeBatchDistinctSubjects(t *testing.T) {
+	e := newEnv(t, nil)
+	subjects := e.seedSubjects(t, 24)
+	if err := e.ps.Register(decl3(), ageImpl(), false); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]InvokeRequest, len(subjects))
+	for i, s := range subjects {
+		reqs[i] = InvokeRequest{Processing: "purpose3", TypeName: "user", SubjectFilter: s}
+	}
+	out := e.ps.InvokeBatch(reqs, 8)
+	if len(out) != len(reqs) {
+		t.Fatalf("outcomes = %d, want %d", len(out), len(reqs))
+	}
+	for i, item := range out {
+		if item.Err != nil {
+			t.Fatalf("req %d: %v", i, item.Err)
+		}
+		if item.Res.Processed != 1 {
+			t.Fatalf("req %d: processed %d, want 1", i, item.Res.Processed)
+		}
+	}
+	if got := e.ps.Invocations(); got != uint64(len(reqs)) {
+		t.Fatalf("Invocations = %d, want %d", got, len(reqs))
+	}
+}
+
+// TestInvokeBatchPerRequestFailure mixes valid requests with an unknown
+// processing: outcomes stay positional and the failure never aborts
+// siblings.
+func TestInvokeBatchPerRequestFailure(t *testing.T) {
+	e := newEnv(t, nil)
+	subjects := e.seedSubjects(t, 3)
+	if err := e.ps.Register(decl3(), ageImpl(), false); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []InvokeRequest{
+		{Processing: "purpose3", TypeName: "user", SubjectFilter: subjects[0]},
+		{Processing: "ghost", TypeName: "user"},
+		{Processing: "purpose3", TypeName: "user", SubjectFilter: subjects[2]},
+	}
+	out := e.ps.InvokeBatch(reqs, 4)
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("valid requests failed: %v / %v", out[0].Err, out[2].Err)
+	}
+	if !errors.Is(out[1].Err, ErrNotRegistered) {
+		t.Fatalf("ghost err = %v", out[1].Err)
+	}
+	if out[1].Res != nil {
+		t.Fatalf("ghost has a result: %+v", out[1].Res)
+	}
+	if got := e.ps.Invocations(); got != 2 {
+		t.Fatalf("Invocations = %d, want 2", got)
+	}
+}
+
+// TestInvokeBatchDynamicAlert checks that the dynamic purpose check fires
+// for batched invocations exactly as for serial ones.
+func TestInvokeBatchDynamicAlert(t *testing.T) {
+	e := newEnv(t, nil)
+	subjects := e.seedSubjects(t, 4)
+	impl := ageImpl()
+	inner := impl.Fn
+	impl.Fn = func(c *ded.Ctx) (ded.Output, error) {
+		c.Has("name") // undeclared probe: traced, raises the dynamic alert
+		return inner(c)
+	}
+	if err := e.ps.Register(decl3(), impl, false); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]InvokeRequest, len(subjects))
+	for i, s := range subjects {
+		reqs[i] = InvokeRequest{Processing: "purpose3", TypeName: "user", SubjectFilter: s}
+	}
+	for i, item := range e.ps.InvokeBatch(reqs, 4) {
+		if item.Err != nil {
+			t.Fatalf("req %d: %v", i, item.Err)
+		}
+	}
+	alerts := e.ps.PendingAlerts()
+	if len(alerts) != len(reqs) {
+		t.Fatalf("pending alerts = %d, want %d", len(alerts), len(reqs))
+	}
+	for _, a := range alerts {
+		if a.Phase != "dynamic" || a.Processing != "purpose3" {
+			t.Fatalf("alert = %+v", a)
+		}
+	}
+}
+
+func TestInvokeAsync(t *testing.T) {
+	e := newEnv(t, nil)
+	e.seed(t)
+	if err := e.ps.Register(decl3(), ageImpl(), false); err != nil {
+		t.Fatal(err)
+	}
+	item := <-e.ps.InvokeAsync(InvokeRequest{Processing: "purpose3", TypeName: "user"})
+	if item.Err != nil {
+		t.Fatal(item.Err)
+	}
+	if item.Res.Processed != 1 {
+		t.Fatalf("processed = %d", item.Res.Processed)
+	}
+	if e.ps.Invocations() != 1 {
+		t.Fatalf("Invocations = %d", e.ps.Invocations())
+	}
+}
+
+// TestInvokeBatchStress hammers InvokeBatch from several client goroutines
+// over both disjoint and overlapping subjects; run with -race this is the
+// end-to-end concurrency soak for the PD hot path (ps → ded → dbfs).
+func TestInvokeBatchStress(t *testing.T) {
+	e := newEnv(t, nil)
+	subjects := e.seedSubjects(t, 16)
+	if err := e.ps.Register(decl3(), ageImpl(), false); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client batches over ALL subjects, so every subject is
+			// processed by every client concurrently (overlap), while
+			// within one batch the subjects are disjoint.
+			reqs := make([]InvokeRequest, len(subjects))
+			for i, s := range subjects {
+				reqs[i] = InvokeRequest{Processing: "purpose3", TypeName: "user", SubjectFilter: s}
+			}
+			for round := 0; round < 3; round++ {
+				for i, item := range e.ps.InvokeBatch(reqs, 8) {
+					if item.Err != nil {
+						errs <- fmt.Errorf("client %d round %d req %d: %w", c, round, i, item.Err)
+						return
+					}
+					if item.Res.Processed != 1 {
+						errs <- fmt.Errorf("client %d round %d req %d: processed %d", c, round, i, item.Res.Processed)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if want := uint64(clients * 3 * len(subjects)); e.ps.Invocations() != want {
+		t.Errorf("Invocations = %d, want %d", e.ps.Invocations(), want)
+	}
+}

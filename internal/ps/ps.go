@@ -309,39 +309,40 @@ type InvokeRequest struct {
 	Maintenance bool
 }
 
-// Invoke is ps_invoke.
-func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
+// prepare validates an invoke request against the registry, runs the
+// optional collection step, and lowers the request to a DED invocation. It
+// is the shared front half of Invoke and InvokeBatch.
+func (s *Store) prepare(req InvokeRequest) (*Processing, ded.Invocation, error) {
 	s.mu.Lock()
 	p, ok := s.procs[req.Processing]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, req.Processing)
+		return nil, ded.Invocation{}, fmt.Errorf("%w: %q", ErrNotRegistered, req.Processing)
 	}
 	if p.State != StateActive {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q is %v", ErrNotActive, req.Processing, p.State)
+		return nil, ded.Invocation{}, fmt.Errorf("%w: %q is %v", ErrNotActive, req.Processing, p.State)
 	}
 	if req.Maintenance && !p.Builtin {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrMaintenanceReserved, req.Processing)
+		return nil, ded.Invocation{}, fmt.Errorf("%w: %q", ErrMaintenanceReserved, req.Processing)
 	}
 	acquire := s.acquire
 	s.mu.Unlock()
 
 	if req.InitCollect {
 		if acquire == nil {
-			return nil, ErrNoCollector
+			return nil, ded.Invocation{}, ErrNoCollector
 		}
 		ty := req.TypeName
 		if ty == "" && p.Decl.Produces != "" {
 			ty = p.Decl.Produces
 		}
 		if _, err := acquire(ty, req.CollectMethod, req.CollectSubjects); err != nil {
-			return nil, fmt.Errorf("ps: collection before invoke: %w", err)
+			return nil, ded.Invocation{}, fmt.Errorf("ps: collection before invoke: %w", err)
 		}
 	}
-
-	res, err := s.d.Run(ded.Invocation{
+	return p, ded.Invocation{
 		Purpose:       p.Decl,
 		Impl:          p.Impl,
 		PDRef:         req.PDRef,
@@ -349,11 +350,15 @@ func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
 		SubjectFilter: req.SubjectFilter,
 		Params:        req.Params,
 		Maintenance:   req.Maintenance,
-	})
-	if err != nil {
-		return nil, err
-	}
+	}, nil
+}
+
+// finish is the shared back half of an invocation: it counts the run and
+// re-checks the purpose against the observed field accesses, raising a
+// dynamic alert on divergence.
+func (s *Store) finish(p *Processing, res *ded.Result) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.invoked++
 	// Dynamic purpose check: observed accesses vs declaration.
 	if report := purpose.Match(p.Decl, res.DynamicReads); !report.OK {
@@ -367,6 +372,63 @@ func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
 		s.log.Append(audit.KindAlert, p.Decl.Name, "", "", "raised",
 			"dynamic undeclared reads: "+strings.Join(report.Undeclared, ","))
 	}
-	s.mu.Unlock()
+}
+
+// Invoke is ps_invoke.
+func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
+	p, inv, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.d.Run(inv)
+	if err != nil {
+		return nil, err
+	}
+	s.finish(p, res)
 	return res, nil
+}
+
+// InvokeBatch is the concurrent form of ps_invoke: the requests are
+// validated and collection-initialized one by one (approval state and
+// maintenance rules apply exactly as in Invoke), then the admitted
+// invocations run on the DED's worker-pool executor. Outcomes keep request
+// order and are per-request — one failure never aborts its siblings. Every
+// successful run still passes the dynamic purpose check and counts toward
+// Invocations.
+func (s *Store) InvokeBatch(reqs []InvokeRequest, workers int) []ded.BatchItem {
+	out := make([]ded.BatchItem, len(reqs))
+	procs := make([]*Processing, len(reqs))
+	invs := make([]ded.Invocation, 0, len(reqs))
+	idx := make([]int, 0, len(reqs)) // batch position of each admitted request
+	for i, req := range reqs {
+		p, inv, err := s.prepare(req)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		procs[i] = p
+		invs = append(invs, inv)
+		idx = append(idx, i)
+	}
+	for j, item := range s.d.RunBatch(invs, workers) {
+		i := idx[j]
+		out[i] = item
+		if item.Err == nil {
+			s.finish(procs[i], item.Res)
+		}
+	}
+	return out
+}
+
+// InvokeAsync is ps_invoke detached from the caller: the invocation runs on
+// its own goroutine and the single outcome is delivered on the returned
+// channel, which is closed afterwards.
+func (s *Store) InvokeAsync(req InvokeRequest) <-chan ded.BatchItem {
+	ch := make(chan ded.BatchItem, 1)
+	go func() {
+		defer close(ch)
+		res, err := s.Invoke(req)
+		ch <- ded.BatchItem{Res: res, Err: err}
+	}()
+	return ch
 }
