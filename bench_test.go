@@ -7,6 +7,8 @@ package repro
 import (
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -513,6 +515,85 @@ func registerScoring(b *testing.B, s *core.System) {
 	b.Helper()
 	if err := s.PS().Register(bench.ScoreDecl(), bench.ScoreImpl(), false); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// --- SC2: WAL group-commit + per-shard inode FS ---
+
+// BenchmarkConcurrentInsert measures concurrent DBFS insert throughput
+// under the storage-stack configurations SC2 sweeps: the PR-1 baseline
+// (one FS, one txn per flush) against group commit and per-shard FS
+// instances. The PD disk sleeps its flush cost so the serialization the
+// refactor removes is wall-clock visible (see internal/bench.runSC2).
+func BenchmarkConcurrentInsert(b *testing.B) {
+	const workers = 8
+	for _, cfg := range []struct {
+		name  string
+		fs    int
+		batch int
+	}{
+		{"fs=1/nogroup", 1, 1},
+		{"fs=1/group", 1, 0},
+		{"fs=4/group", 4, 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// The filesystems are fixed size, so the machine is rebuilt
+			// off the clock before the subject population exhausts the
+			// inode tables (same pattern as BenchmarkRightToBeForgotten).
+			const pool = 48 // iterations per machine
+			build := func() *core.System {
+				s, err := core.Boot(core.Options{
+					AuthorityBits: 1024, PDDiskBlocks: 1 << 16, NInodes: 1 << 14,
+					FSInstances: cfg.fs, GroupCommitMaxBatch: cfg.batch, Workers: workers,
+					PDLatency: blockdev.LatencyModel{SyncCost: 50 * time.Microsecond, Sleep: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}
+			s := build()
+			tok := s.DEDToken()
+			const n = 32 // inserts per iteration, spread over workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%pool == 0 {
+					b.StopTimer()
+					s = build()
+					tok = s.DEDToken()
+					b.StartTimer()
+				}
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				var next atomic.Int64
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(rng *xrand.RNG) {
+						defer wg.Done()
+						for {
+							j := int(next.Add(1)) - 1
+							if j >= n {
+								return
+							}
+							subj := "cs" + strconv.Itoa((i%pool)*n+j)
+							if _, err := s.DBFS().Insert(tok, "user", subj, workload.UserRecord(rng, subj), nil); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(xrand.New(uint64(7 + w)))
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
 	}
 }
 

@@ -27,10 +27,11 @@ func main() {
 		subjects = flag.Int("subjects", 0, "override subject population")
 		ops      = flag.Int("ops", 0, "override operation count")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		jsonDir  = flag.String("jsondir", "", "directory for BENCH_<ID>.json result files")
 	)
 	flag.Parse()
 
-	p := bench.Params{Seed: *seed, Subjects: *subjects, Ops: *ops, Small: *small}
+	p := bench.Params{Seed: *seed, Subjects: *subjects, Ops: *ops, Small: *small, JSONDir: *jsonDir}
 	switch {
 	case *list:
 		fmt.Println("experiments (id — title — paper artifact):")

@@ -1,0 +1,68 @@
+// Command benchgate is the CI bench-regression gate: it compares a freshly
+// generated BENCH_SC2.json against the checked-in BENCH_baseline.json and
+// fails (exit 1) when the measured group-commit + per-shard-FS speedup has
+// regressed by more than the allowed fraction.
+//
+// The baseline's best_speedup is a conservative floor (not one machine's
+// maximum), so the gate is portable across runners with different sleep
+// granularity: what it protects is the refactor's headline property —
+// concurrent insert throughput well above the single-journal,
+// one-transaction-per-flush PR-1 configuration.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current out/BENCH_SC2.json [-max-regress 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func load(path string) (*bench.SC2Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.SC2Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	if r.Experiment != "SC2" || len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: not an SC2 report", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
+		currentPath  = flag.String("current", "BENCH_SC2.json", "freshly generated report")
+		maxRegress   = flag.Float64("max-regress", 0.20, "allowed fractional regression of best_speedup")
+	)
+	flag.Parse()
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	floor := base.Summary.BestSpeedup * (1 - *maxRegress)
+	fmt.Printf("benchgate: baseline best_speedup=%.2fx (%s), current best_speedup=%.2fx (%s), floor=%.2fx\n",
+		base.Summary.BestSpeedup, base.Summary.BestConfig,
+		cur.Summary.BestSpeedup, cur.Summary.BestConfig, floor)
+	if cur.Summary.BestSpeedup < floor {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — concurrent insert speedup regressed more than %.0f%%\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

@@ -6,8 +6,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -30,6 +33,10 @@ type Params struct {
 	Ops int
 	// Small switches to the fast configuration used by tests.
 	Small bool
+	// JSONDir, when set, makes experiments with machine-readable results
+	// additionally write them as BENCH_<ID>.json files there (the format
+	// the CI bench gate compares against BENCH_baseline.json).
+	JSONDir string
 }
 
 func (p Params) subjects(def, small int) int {
@@ -81,6 +88,7 @@ func Registry() []Experiment {
 		{ID: "OV5", Title: "Sensitive-field separation cost", Paper: "§2 sensitivity levels", Run: runOV5},
 		{ID: "OV6", Title: "TTL sweeper (storage limitation)", Paper: "§2/§4 TTL", Run: runOV6},
 		{ID: "SC1", Title: "Subject-sharded DBFS + concurrent DED executor scaling", Paper: "§2 DED model, scaled (north star)", Run: runSC1},
+		{ID: "SC2", Title: "WAL group-commit x per-shard FS: concurrent insert throughput", Paper: "§3 DBFS storage stack, scaled (north star)", Run: runSC2},
 	}
 }
 
@@ -328,6 +336,27 @@ func sortedKeys(m map[string]int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// writeJSON emits one experiment's machine-readable results as
+// BENCH_<id>.json under p.JSONDir; with no JSONDir set it is a no-op.
+func writeJSON(p Params, id string, v any) error {
+	if p.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode %s results: %w", id, err)
+	}
+	raw = append(raw, '\n')
+	if err := os.MkdirAll(p.JSONDir, 0o755); err != nil {
+		return fmt.Errorf("bench: create %s: %w", p.JSONDir, err)
+	}
+	path := filepath.Join(p.JSONDir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s results: %w", id, err)
+	}
+	return nil
 }
 
 // grantAll is a convenience consent map for baseline rows.

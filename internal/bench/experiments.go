@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
@@ -759,4 +761,168 @@ func runSC1(w io.Writer, p Params) error {
 // exportJSON sizes an access report payload (shared with runIA).
 func exportJSON(report *rights.AccessReport) ([]byte, error) {
 	return rights.ExportJSON(report)
+}
+
+// --- SC2: storage-stack scaling — group commit x per-shard FS ---
+
+// SC2Row is one configuration's measurement in the SC2 sweep, serialized
+// into BENCH_SC2.json for the CI regression gate.
+type SC2Row struct {
+	Config            string  `json:"config"`
+	FSInstances       int     `json:"fs_instances"`
+	CommitWindowUS    int64   `json:"commit_window_us"`
+	GroupCommit       bool    `json:"group_commit"`
+	Workers           int     `json:"workers"`
+	Inserts           int     `json:"inserts"`
+	WallUS            int64   `json:"wall_us"`
+	InsertsPerSec     float64 `json:"inserts_per_sec"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+	TxnsPerGroup      float64 `json:"txns_per_group"`
+}
+
+// SC2Report is the BENCH_SC2.json schema.
+type SC2Report struct {
+	Experiment string `json:"experiment"`
+	Schema     int    `json:"schema"`
+	// Comment carries provenance notes (the checked-in baseline explains
+	// that its summary is a conservative cross-machine floor).
+	Comment  string   `json:"comment,omitempty"`
+	Workers  int      `json:"workers"`
+	Subjects int      `json:"subjects"`
+	Rows     []SC2Row `json:"rows"`
+	Summary  struct {
+		BaselineInsertsPerSec float64 `json:"baseline_inserts_per_sec"`
+		BestInsertsPerSec     float64 `json:"best_inserts_per_sec"`
+		BestConfig            string  `json:"best_config"`
+		BestSpeedup           float64 `json:"best_speedup"`
+	} `json:"summary"`
+}
+
+// runSC2 measures this PR's storage-stack refactor: concurrent inserts from
+// a fixed worker pool, swept over commit-window size and FS-instance count.
+// The PD disk sleeps its flush cost (blockdev.LatencyModel.Sleep), so what
+// the wall clock sees is exactly what the refactor targets: the PR-1
+// baseline (one filesystem, one transaction per flush) pays every barrier
+// serially through one journal, group commit amortizes barriers across
+// concurrently arriving transactions, and per-shard FS instances let the
+// remaining barriers wait in parallel.
+func runSC2(w io.Writer, p Params) error {
+	n := p.subjects(256, 48)
+	const workers = 8
+	syncCost := 100 * time.Microsecond
+	if p.Small {
+		syncCost = 50 * time.Microsecond
+	}
+	type cfg struct {
+		name   string
+		fs     int
+		window time.Duration
+		batch  int // 1 disables group commit, 0 = wal default
+	}
+	cfgs := []cfg{
+		{"pr1-baseline fs=1 nogroup", 1, 0, 1},
+		{"group fs=1", 1, 0, 0},
+		{"shard fs=4 nogroup", 4, 0, 1},
+		{"shard+group fs=4", 4, 0, 0},
+		{"shard+group fs=4 win=100us", 4, 100 * time.Microsecond, 0},
+		{"shard+group fs=8", 8, 0, 0},
+	}
+	if p.Small {
+		cfgs = []cfg{cfgs[0], cfgs[1], cfgs[3], cfgs[5]}
+	}
+
+	report := SC2Report{Experiment: "SC2", Schema: 1, Workers: workers, Subjects: n}
+	rows := make([][]string, 0, len(cfgs))
+	for _, c := range cfgs {
+		opts := bootOpts(n)
+		opts.FSInstances = c.fs
+		opts.CommitWindow = c.window
+		opts.GroupCommitMaxBatch = c.batch
+		opts.Workers = workers
+		opts.PDLatency = blockdev.LatencyModel{SyncCost: syncCost, Sleep: true}
+		sys, err := core.Boot(opts)
+		if err != nil {
+			return err
+		}
+		if err := sys.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+			return err
+		}
+		// Pre-generate records off the clock; the timed region is pure
+		// concurrent insert load against DBFS.
+		rng := xrand.New(p.Seed + 21)
+		subjects := workload.SubjectIDs(n)
+		records := make([]dbfs.Record, n)
+		for i, subject := range subjects {
+			records[i] = workload.UserRecord(rng, subject)
+		}
+		tok := sys.DEDToken()
+		var (
+			wg   sync.WaitGroup
+			next atomic.Int64
+		)
+		insertErrs := make(chan error, workers)
+		start := time.Now()
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if _, err := sys.DBFS().Insert(tok, "user", subjects[i], records[i], nil); err != nil {
+						insertErrs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(insertErrs)
+		for err := range insertErrs {
+			return fmt.Errorf("bench: SC2 %s: %w", c.name, err)
+		}
+		js := sys.DBFS().JournalStats()
+		txnsPerGroup := 0.0
+		if js.GroupCommits > 0 {
+			txnsPerGroup = float64(js.TxnsCommitted) / float64(js.GroupCommits)
+		}
+		row := SC2Row{
+			Config:         c.name,
+			FSInstances:    c.fs,
+			CommitWindowUS: c.window.Microseconds(),
+			GroupCommit:    c.batch != 1,
+			Workers:        workers,
+			Inserts:        n,
+			WallUS:         elapsed.Microseconds(),
+			InsertsPerSec:  float64(n) / elapsed.Seconds(),
+			TxnsPerGroup:   txnsPerGroup,
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	base := report.Rows[0].InsertsPerSec
+	report.Summary.BaselineInsertsPerSec = base
+	for i := range report.Rows {
+		r := &report.Rows[i]
+		if base > 0 {
+			r.SpeedupVsBaseline = r.InsertsPerSec / base
+		}
+		if r.InsertsPerSec > report.Summary.BestInsertsPerSec {
+			report.Summary.BestInsertsPerSec = r.InsertsPerSec
+			report.Summary.BestConfig = r.Config
+			report.Summary.BestSpeedup = r.SpeedupVsBaseline
+		}
+		rows = append(rows, []string{
+			r.Config, strconv.Itoa(r.FSInstances), strconv.FormatInt(r.CommitWindowUS, 10),
+			fmt.Sprintf("%t", r.GroupCommit), strconv.Itoa(r.Inserts),
+			fmt.Sprintf("%.0f", r.InsertsPerSec), fmt.Sprintf("%.1f", r.TxnsPerGroup),
+			fmt.Sprintf("%.2fx", r.SpeedupVsBaseline),
+		})
+	}
+	table(w, []string{"config", "fs", "window us", "group", "inserts", "inserts/s", "txns/group", "speedup"}, rows)
+	fmt.Fprintln(w, "  expectation: group commit shrinks flush count (txns/group > 1), per-shard FS overlaps the")
+	fmt.Fprintln(w, "  remaining flushes; combined >=2x the PR-1 baseline at 8 workers")
+	return writeJSON(p, "SC2", &report)
 }

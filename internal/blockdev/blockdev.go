@@ -56,6 +56,21 @@ type LatencyModel struct {
 	ReadCost  time.Duration // per block read
 	WriteCost time.Duration // per block write
 	SyncCost  time.Duration // per sync barrier
+	// Sleep makes each operation actually sleep its cost (outside the
+	// device lock) in addition to accounting it. Concurrency experiments
+	// use it so device time is visible to wall-clock measurements — the
+	// storage-stack analogue of SC1's simulated processing pause: what
+	// group commit amortizes and per-shard filesystems overlap is exactly
+	// this waiting.
+	Sleep bool
+}
+
+// pause sleeps d when the model is in sleeping mode. Never call it while
+// holding the device lock: partitions of one device must wait in parallel.
+func (l LatencyModel) pause(d time.Duration) {
+	if l.Sleep && d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // DefaultLatency approximates NVMe flash: 10us reads, 20us writes, 50us
@@ -82,6 +97,34 @@ type Device interface {
 	Sync() error
 	// Stats returns a snapshot of the device counters.
 	Stats() Stats
+}
+
+// VectorWriter is the optional fast path for multi-block writes. The WAL
+// group-commit flush submits a whole commit group at once; devices that
+// implement it (Mem: one lock acquisition, kernel.RemoteDevice: one bus
+// message) amortize their per-operation cost across the batch. Writes are
+// applied in slice order, so a later entry for the same block wins.
+type VectorWriter interface {
+	// WriteBlocks writes data[i] to block ns[i] for every i. len(ns) must
+	// equal len(data) and every buffer must be exactly BlockSize.
+	WriteBlocks(ns []uint64, data [][]byte) error
+}
+
+// WriteBlocks writes a batch through dev's VectorWriter when it has one,
+// falling back to per-block writes otherwise.
+func WriteBlocks(dev Device, ns []uint64, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("blockdev: WriteBlocks: %d block numbers, %d buffers", len(ns), len(data))
+	}
+	if vw, ok := dev.(VectorWriter); ok {
+		return vw.WriteBlocks(ns, data)
+	}
+	for i := range ns {
+		if err := dev.WriteBlock(ns[i], data[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Mem is an in-memory simulated Device.
@@ -124,14 +167,16 @@ func (m *Mem) ReadBlock(n uint64, buf []byte) error {
 		return ErrBadSize
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n >= m.nblocks {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: read block %d of %d", ErrOutOfRange, n, m.nblocks)
 	}
 	copy(buf, m.blocks[n*BlockSize:(n+1)*BlockSize])
 	m.stats.Reads++
 	m.stats.BytesRead += BlockSize
 	m.stats.SimLatency += m.lat.ReadCost
+	m.mu.Unlock()
+	m.lat.pause(m.lat.ReadCost)
 	return nil
 }
 
@@ -141,14 +186,16 @@ func (m *Mem) WriteBlock(n uint64, data []byte) error {
 		return ErrBadSize
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n >= m.nblocks {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: write block %d of %d", ErrOutOfRange, n, m.nblocks)
 	}
 	copy(m.blocks[n*BlockSize:(n+1)*BlockSize], data)
 	m.stats.Writes++
 	m.stats.BytesWritten += BlockSize
 	m.stats.SimLatency += m.lat.WriteCost
+	m.mu.Unlock()
+	m.lat.pause(m.lat.WriteCost)
 	return nil
 }
 
@@ -160,9 +207,10 @@ func (m *Mem) NumBlocks() uint64 {
 // Sync implements Device.
 func (m *Mem) Sync() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.Syncs++
 	m.stats.SimLatency += m.lat.SyncCost
+	m.mu.Unlock()
+	m.lat.pause(m.lat.SyncCost)
 	return nil
 }
 
@@ -171,6 +219,34 @@ func (m *Mem) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.stats
+}
+
+// WriteBlocks implements VectorWriter: the whole batch is applied under one
+// lock acquisition, which is what makes a WAL group flush cheaper than the
+// sum of its per-block writes.
+func (m *Mem) WriteBlocks(ns []uint64, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("blockdev: WriteBlocks: %d block numbers, %d buffers", len(ns), len(data))
+	}
+	for _, d := range data {
+		if len(d) != BlockSize {
+			return ErrBadSize
+		}
+	}
+	m.mu.Lock()
+	for i, n := range ns {
+		if n >= m.nblocks {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: write block %d of %d", ErrOutOfRange, n, m.nblocks)
+		}
+		copy(m.blocks[n*BlockSize:(n+1)*BlockSize], data[i])
+		m.stats.Writes++
+		m.stats.BytesWritten += BlockSize
+		m.stats.SimLatency += m.lat.WriteCost
+	}
+	m.mu.Unlock()
+	m.lat.pause(time.Duration(len(ns)) * m.lat.WriteCost)
+	return nil
 }
 
 // ReadRaw copies the entire device image. It models pulling the disk out of
@@ -297,3 +373,85 @@ func (f *Faulty) InjectedFaults() (readErrs, tornWrites uint64) {
 	defer f.mu.Unlock()
 	return f.injectedReadErrs, f.tornWrites
 }
+
+// Partition is a window [start, start+nblocks) onto a parent device. The
+// per-shard inode filesystems each format one partition of the PD disk, so
+// shard-disjoint mutations never share a superblock, bitmap or journal —
+// exactly like giving every shard its own disk slice. Block numbers are
+// partition-relative; the view composes with any Device, including the
+// bus-routed kernel.RemoteDevice, so partition IO still crosses the
+// IO-driver kernel.
+type Partition struct {
+	dev     Device
+	start   uint64
+	nblocks uint64
+}
+
+var (
+	_ Device       = (*Partition)(nil)
+	_ VectorWriter = (*Partition)(nil)
+)
+
+// NewPartition creates a view of dev covering [start, start+nblocks).
+func NewPartition(dev Device, start, nblocks uint64) (*Partition, error) {
+	if nblocks == 0 {
+		return nil, fmt.Errorf("blockdev: partition must have at least one block")
+	}
+	if start+nblocks > dev.NumBlocks() {
+		return nil, fmt.Errorf("%w: partition [%d,%d) beyond device end %d",
+			ErrOutOfRange, start, start+nblocks, dev.NumBlocks())
+	}
+	return &Partition{dev: dev, start: start, nblocks: nblocks}, nil
+}
+
+// Start reports the partition's offset on the parent device.
+func (p *Partition) Start() uint64 { return p.start }
+
+func (p *Partition) check(n uint64) error {
+	if n >= p.nblocks {
+		return fmt.Errorf("%w: block %d of partition size %d", ErrOutOfRange, n, p.nblocks)
+	}
+	return nil
+}
+
+// ReadBlock implements Device.
+func (p *Partition) ReadBlock(n uint64, buf []byte) error {
+	if err := p.check(n); err != nil {
+		return err
+	}
+	return p.dev.ReadBlock(p.start+n, buf)
+}
+
+// WriteBlock implements Device.
+func (p *Partition) WriteBlock(n uint64, data []byte) error {
+	if err := p.check(n); err != nil {
+		return err
+	}
+	return p.dev.WriteBlock(p.start+n, data)
+}
+
+// WriteBlocks implements VectorWriter by translating the batch onto the
+// parent (which may itself batch further, e.g. into one bus message).
+func (p *Partition) WriteBlocks(ns []uint64, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("blockdev: WriteBlocks: %d block numbers, %d buffers", len(ns), len(data))
+	}
+	shifted := make([]uint64, len(ns))
+	for i, n := range ns {
+		if err := p.check(n); err != nil {
+			return err
+		}
+		shifted[i] = p.start + n
+	}
+	return WriteBlocks(p.dev, shifted, data)
+}
+
+// NumBlocks implements Device.
+func (p *Partition) NumBlocks() uint64 { return p.nblocks }
+
+// Sync implements Device (a barrier on the parent device).
+func (p *Partition) Sync() error { return p.dev.Sync() }
+
+// Stats implements Device; counters live on the parent device, which all
+// partitions share, so the view forwards the parent snapshot.
+func (p *Partition) Stats() Stats { return p.dev.Stats() }

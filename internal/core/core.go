@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/blockdev"
@@ -68,6 +69,23 @@ type Options struct {
 	// invocations (for distinct subjects, thanks to DBFS subject sharding)
 	// run concurrently. Defaults to GOMAXPROCS.
 	Workers int
+	// FSInstances is how many inode filesystem instances back DBFS. Above
+	// one, the PD disk is split into that many partitions (each with its
+	// own journal) and subject shards are routed across them, so
+	// shard-disjoint inserts never share a filesystem lock. Default 1.
+	FSInstances int
+	// CommitWindow is how long each journal's group committer waits for
+	// more transactions before flushing a commit group. Default 0 (drain
+	// immediately; concurrent arrivals still coalesce).
+	CommitWindow time.Duration
+	// GroupCommitMaxBatch bounds journal transactions per commit group
+	// (0 = the wal default, 1 disables group commit — the pre-group-commit
+	// baseline for ablations).
+	GroupCommitMaxBatch int
+	// PDLatency overrides the PD disk's latency model (zero value =
+	// blockdev.DefaultLatency()). Storage-concurrency experiments set
+	// Sleep to make device time wall-clock visible.
+	PDLatency blockdev.LatencyModel
 }
 
 func (o *Options) withDefaults() {
@@ -95,6 +113,12 @@ func (o *Options) withDefaults() {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.FSInstances <= 0 {
+		o.FSInstances = 1
+	}
+	if o.PDLatency == (blockdev.LatencyModel{}) {
+		o.PDLatency = blockdev.DefaultLatency()
+	}
 }
 
 // System is a booted rgpdOS machine.
@@ -109,7 +133,7 @@ type System struct {
 	pdDev  *blockdev.Mem
 	npdDev *blockdev.Mem
 
-	pdFS  *inode.FS
+	pdFSs []*inode.FS
 	npdFS *plainfs.FS
 	store *dbfs.Store
 
@@ -129,7 +153,7 @@ func Boot(opts Options) (*System, error) {
 	// Purpose-kernel topology.
 	s.machine = kernel.NewMachine(opts.Machine)
 	var err error
-	if s.pdDev, err = blockdev.NewMem(opts.PDDiskBlocks, blockdev.DefaultLatency()); err != nil {
+	if s.pdDev, err = blockdev.NewMem(opts.PDDiskBlocks, opts.PDLatency); err != nil {
 		return nil, fmt.Errorf("core: pd disk: %w", err)
 	}
 	if s.npdDev, err = blockdev.NewMem(opts.NPDDiskBlocks, blockdev.DefaultLatency()); err != nil {
@@ -200,13 +224,36 @@ func Boot(opts Options) (*System, error) {
 	}
 	s.vault = cryptoshred.NewVault(s.authority.PublicKey())
 
-	// Filesystems.
-	if s.pdFS, err = inode.Format(pdView, inode.Options{
-		NInodes: opts.NInodes, JournalBlocks: opts.JournalBlocks, Clock: opts.Clock,
-	}); err != nil {
-		return nil, fmt.Errorf("core: pd filesystem: %w", err)
+	// Filesystems. DBFS sits on FSInstances inode filesystems: one over
+	// the whole PD view, or — when sharding storage — one per equal
+	// partition of it, each with its own journal region. Partitions wrap
+	// the (possibly bus-routed) view, so split-kernel IO accounting is
+	// unchanged.
+	inodeOpts := inode.Options{
+		NInodes:       (opts.NInodes + uint64(opts.FSInstances) - 1) / uint64(opts.FSInstances),
+		JournalBlocks: opts.JournalBlocks,
+		Clock:         opts.Clock,
+		CommitWindow:  opts.CommitWindow,
+		GroupMaxBatch: opts.GroupCommitMaxBatch,
 	}
-	if s.store, err = dbfs.Create(s.pdFS, s.guard, s.vault, opts.Clock); err != nil {
+	s.pdFSs = make([]*inode.FS, opts.FSInstances)
+	if opts.FSInstances == 1 {
+		if s.pdFSs[0], err = inode.Format(pdView, inodeOpts); err != nil {
+			return nil, fmt.Errorf("core: pd filesystem: %w", err)
+		}
+	} else {
+		per := opts.PDDiskBlocks / uint64(opts.FSInstances)
+		for i := range s.pdFSs {
+			part, err := blockdev.NewPartition(pdView, uint64(i)*per, per)
+			if err != nil {
+				return nil, fmt.Errorf("core: pd partition %d: %w", i, err)
+			}
+			if s.pdFSs[i], err = inode.Format(part, inodeOpts); err != nil {
+				return nil, fmt.Errorf("core: pd filesystem %d: %w", i, err)
+			}
+		}
+	}
+	if s.store, err = dbfs.Create(s.pdFSs, s.guard, s.vault, opts.Clock); err != nil {
 		return nil, fmt.Errorf("core: dbfs: %w", err)
 	}
 	if s.npdFS, err = plainfs.Format(npdView, inode.Options{
@@ -222,6 +269,7 @@ func Boot(opts Options) (*System, error) {
 	s.sources = collect.NewRegistry()
 	s.acq = builtins.NewAcquirer(s.ded, s.sources, s.log)
 	s.ps = ps.New(s.ded, s.log, s.acq.Acquire)
+	s.ps.SetDefaultWorkers(opts.Workers)
 	if err := builtins.Register(s.ps); err != nil {
 		return nil, fmt.Errorf("core: builtins: %w", err)
 	}
@@ -251,7 +299,7 @@ func (s *System) Workers() int { return s.opts.Workers }
 // executor pool (Options.Workers). Outcomes keep request order; see
 // ps.Store.InvokeBatch for the per-request failure semantics.
 func (s *System) InvokeBatch(reqs []ps.InvokeRequest) []ded.BatchItem {
-	return s.ps.InvokeBatch(reqs, s.opts.Workers)
+	return s.ps.InvokeBatch(reqs, 0) // 0 = the pool default set at boot
 }
 
 // InvokeAsync runs one ps_invoke request off the caller's goroutine; the

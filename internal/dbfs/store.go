@@ -15,6 +15,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/membrane"
 	"repro/internal/simclock"
+	"repro/internal/wal"
 )
 
 // Tree and file names inside the DBFS inode layout.
@@ -22,10 +23,16 @@ const (
 	schemaRootName  = "schema"
 	subjectRootName = "subjects"
 	formatRootName  = "format"
+	tablesRootName  = "tables"
 
-	defFileName      = "def"
-	seqFileName      = "seq"
-	tableSubjectsDir = "subjects"
+	defFileName = "def"
+	seqFileName = "seq"
+
+	// shardCfgName is the per-instance config file at each FS root,
+	// recording (instance count, instance index). Open validates it so a
+	// remount with a different instance count — which would silently
+	// misroute every shard (shard mod N changes) — fails loudly instead.
+	shardCfgName = "shardcfg"
 
 	dataSuffix = ".data"
 	sensSuffix = ".sens"
@@ -89,8 +96,17 @@ const numShards = 64
 // before taking any Store lock; reads, updates and erasures run their
 // crypto under the subject's shard lock (blocking only that shard), because
 // sealing/unsealing there must serialize with key shredding.
+//
+// Storage is shard-routed too: each of the numShards subject shards maps to
+// one of N inode filesystem instances (shard mod N), each with its own
+// superblock, allocation bitmap and journal — typically one
+// blockdev.Partition of the PD disk per instance. Shard-disjoint inserts
+// therefore never contend on a filesystem lock or a journal, which removes
+// the storage-layer serialization point left after subject sharding. Every
+// instance carries its own "subjects" and "tables" trees; cross-subject
+// metadata (schema defs, formats, seq counters) lives only on instance 0.
 type Store struct {
-	fs    *inode.FS
+	fss   []*inode.FS
 	guard *lsm.Guard
 	vault *cryptoshred.Vault
 	clock simclock.Clock
@@ -100,27 +116,56 @@ type Store struct {
 	schemas map[string]*Schema
 	formats map[string][]formatEntry
 	seqs    map[string]uint64
+	// seqHighs is each type's durably reserved id watermark: ids up to
+	// seqHighs[t] may be handed out without touching the disk. See
+	// nextSeq.
+	seqHighs map[string]uint64
 
-	// shards serialize per-subject record state; see shardFor.
+	// shards serialize per-subject record state; see shardOf.
 	shards [numShards]sync.RWMutex
 
 	statsMu sync.Mutex
 	stats   Stats
 
-	schemaRoot  inode.Ino
-	subjectRoot inode.Ino
-	formatRoot  inode.Ino
+	schemaRoot inode.Ino // on fss[0]
+	formatRoot inode.Ino // on fss[0]
+	// subjectRoots[i] / tablesRoots[i] are the per-instance major trees.
+	subjectRoots []inode.Ino
+	tablesRoots  []inode.Ino
 }
 
-// shardFor maps a subject ID onto its lock shard (inline FNV-1a: this runs
-// on every record operation, so it must not allocate).
-func (s *Store) shardFor(subjectID string) *sync.RWMutex {
+// shardRef is one subject's routing: its lock shard and the filesystem
+// instance (with that instance's major-tree roots) holding its records.
+type shardRef struct {
+	lk         *sync.RWMutex
+	fs         *inode.FS
+	subjRoot   inode.Ino
+	tablesRoot inode.Ino
+}
+
+// shardOf maps a subject ID onto its lock shard and filesystem instance
+// (inline FNV-1a: this runs on every record operation, so it must not
+// allocate).
+func (s *Store) shardOf(subjectID string) shardRef {
 	h := uint32(2166136261)
 	for i := 0; i < len(subjectID); i++ {
 		h = (h ^ uint32(subjectID[i])) * 16777619
 	}
-	return &s.shards[h%numShards]
+	shard := h % numShards
+	fi := int(shard) % len(s.fss)
+	return shardRef{
+		lk:         &s.shards[shard],
+		fs:         s.fss[fi],
+		subjRoot:   s.subjectRoots[fi],
+		tablesRoot: s.tablesRoots[fi],
+	}
 }
+
+// metaFS is the instance holding cross-subject metadata.
+func (s *Store) metaFS() *inode.FS { return s.fss[0] }
+
+// FSInstances reports how many inode filesystem instances back the store.
+func (s *Store) FSInstances() int { return len(s.fss) }
 
 // bumpStats applies a counter mutation under the stats lock.
 func (s *Store) bumpStats(f func(*Stats)) {
@@ -129,75 +174,139 @@ func (s *Store) bumpStats(f func(*Stats)) {
 	s.statsMu.Unlock()
 }
 
-// Create formats the DBFS trees on a freshly formatted inode filesystem.
-func Create(fs *inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+// Create formats the DBFS trees across freshly formatted inode filesystem
+// instances. Every instance gets its own "subjects" and "tables" major
+// trees; instance 0 additionally holds the schema and format trees. The
+// subject-shard → instance routing is shard mod len(fss), so the instance
+// count must stay the same across remounts of the same devices.
+func Create(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("dbfs: need at least one filesystem instance")
+	}
 	if clock == nil {
 		clock = simclock.Real{}
 	}
 	s := &Store{
-		fs:      fs,
-		guard:   guard,
-		vault:   vault,
-		clock:   clock,
-		schemas: make(map[string]*Schema),
-		formats: make(map[string][]formatEntry),
-		seqs:    make(map[string]uint64),
+		fss:          fss,
+		guard:        guard,
+		vault:        vault,
+		clock:        clock,
+		schemas:      make(map[string]*Schema),
+		formats:      make(map[string][]formatEntry),
+		seqs:         make(map[string]uint64),
+		seqHighs:     make(map[string]uint64),
+		subjectRoots: make([]inode.Ino, len(fss)),
+		tablesRoots:  make([]inode.Ino, len(fss)),
 	}
 	for _, spec := range []struct {
 		name string
 		dst  *inode.Ino
 	}{
 		{schemaRootName, &s.schemaRoot},
-		{subjectRootName, &s.subjectRoot},
 		{formatRootName, &s.formatRoot},
 	} {
-		ino, err := fs.AllocInode(inode.ModeTree, spec.name+"-root")
+		ino, err := s.metaFS().AllocInode(inode.ModeTree, spec.name+"-root")
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: create %s tree: %w", spec.name, err)
 		}
-		if err := fs.AddChild(inode.RootIno, spec.name, ino); err != nil {
+		if err := s.metaFS().AddChild(inode.RootIno, spec.name, ino); err != nil {
 			return nil, fmt.Errorf("dbfs: link %s tree: %w", spec.name, err)
 		}
 		*spec.dst = ino
 	}
+	for i, fs := range fss {
+		for _, spec := range []struct {
+			name string
+			dst  *inode.Ino
+		}{
+			{subjectRootName, &s.subjectRoots[i]},
+			{tablesRootName, &s.tablesRoots[i]},
+		} {
+			ino, err := fs.AllocInode(inode.ModeTree, spec.name+"-root")
+			if err != nil {
+				return nil, fmt.Errorf("dbfs: create %s tree on instance %d: %w", spec.name, i, err)
+			}
+			if err := fs.AddChild(inode.RootIno, spec.name, ino); err != nil {
+				return nil, fmt.Errorf("dbfs: link %s tree on instance %d: %w", spec.name, i, err)
+			}
+			*spec.dst = ino
+		}
+		var cfg [16]byte
+		binary.LittleEndian.PutUint64(cfg[0:], uint64(len(fss)))
+		binary.LittleEndian.PutUint64(cfg[8:], uint64(i))
+		if _, err := s.writeFileInode(fs, inode.RootIno, shardCfgName, "shard-config", cfg[:]); err != nil {
+			return nil, fmt.Errorf("dbfs: create shard config on instance %d: %w", i, err)
+		}
+	}
 	return s, nil
 }
 
-// Open mounts an existing DBFS: it resolves the three roots, then loads
-// every schema and the format descriptors (the once-per-session read).
-func Open(fs *inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+// Open mounts an existing DBFS from its mounted instances (same order and
+// count as at Create): it resolves the major trees on every instance, then
+// loads every schema and the format descriptors from instance 0 (the
+// once-per-session read).
+func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("dbfs: need at least one filesystem instance")
+	}
 	if clock == nil {
 		clock = simclock.Real{}
 	}
 	s := &Store{
-		fs:      fs,
-		guard:   guard,
-		vault:   vault,
-		clock:   clock,
-		schemas: make(map[string]*Schema),
-		formats: make(map[string][]formatEntry),
-		seqs:    make(map[string]uint64),
+		fss:          fss,
+		guard:        guard,
+		vault:        vault,
+		clock:        clock,
+		schemas:      make(map[string]*Schema),
+		formats:      make(map[string][]formatEntry),
+		seqs:         make(map[string]uint64),
+		seqHighs:     make(map[string]uint64),
+		subjectRoots: make([]inode.Ino, len(fss)),
+		tablesRoots:  make([]inode.Ino, len(fss)),
 	}
 	var err error
-	if s.schemaRoot, err = fs.Lookup(inode.RootIno, schemaRootName); err != nil {
+	if s.schemaRoot, err = s.metaFS().Lookup(inode.RootIno, schemaRootName); err != nil {
 		return nil, fmt.Errorf("dbfs: open: %w", err)
 	}
-	if s.subjectRoot, err = fs.Lookup(inode.RootIno, subjectRootName); err != nil {
+	if s.formatRoot, err = s.metaFS().Lookup(inode.RootIno, formatRootName); err != nil {
 		return nil, fmt.Errorf("dbfs: open: %w", err)
 	}
-	if s.formatRoot, err = fs.Lookup(inode.RootIno, formatRootName); err != nil {
-		return nil, fmt.Errorf("dbfs: open: %w", err)
+	for i, fs := range fss {
+		if s.subjectRoots[i], err = fs.Lookup(inode.RootIno, subjectRootName); err != nil {
+			return nil, fmt.Errorf("dbfs: open instance %d: %w", i, err)
+		}
+		if s.tablesRoots[i], err = fs.Lookup(inode.RootIno, tablesRootName); err != nil {
+			return nil, fmt.Errorf("dbfs: open instance %d: %w", i, err)
+		}
+		cfgIno, err := fs.Lookup(inode.RootIno, shardCfgName)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open instance %d: shard config: %w", i, err)
+		}
+		raw, err := readAll(fs, cfgIno)
+		if err != nil {
+			return nil, fmt.Errorf("dbfs: open instance %d: bad shard config: %w", i, err)
+		}
+		if len(raw) != 16 {
+			return nil, fmt.Errorf("dbfs: open instance %d: bad shard config: %d bytes, want 16", i, len(raw))
+		}
+		count := binary.LittleEndian.Uint64(raw[0:])
+		idx := binary.LittleEndian.Uint64(raw[8:])
+		if count != uint64(len(fss)) || idx != uint64(i) {
+			return nil, fmt.Errorf("dbfs: open instance %d: shard config says instance %d of %d, got %d of %d — shard routing would change",
+				i, idx, count, i, len(fss))
+		}
 	}
-	tables, err := fs.Children(s.schemaRoot)
+	meta := s.metaFS()
+	tables, err := meta.Children(s.schemaRoot)
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: open: list tables: %w", err)
 	}
 	for _, tb := range tables {
-		defIno, err := fs.Lookup(tb.Ino, defFileName)
+		defIno, err := meta.Lookup(tb.Ino, defFileName)
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
 		}
-		raw, err := readAll(fs, defIno)
+		raw, err := readAll(meta, defIno)
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
 		}
@@ -206,23 +315,26 @@ func Open(fs *inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclo
 			return nil, fmt.Errorf("dbfs: open table %q: %w", tb.Name, err)
 		}
 		s.schemas[sch.Name] = sch
-		seqIno, err := fs.Lookup(tb.Ino, seqFileName)
+		seqIno, err := meta.Lookup(tb.Ino, seqFileName)
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: open table %q seq: %w", tb.Name, err)
 		}
-		seqRaw, err := readAll(fs, seqIno)
+		seqRaw, err := readAll(meta, seqIno)
 		if err != nil || len(seqRaw) != 8 {
 			return nil, fmt.Errorf("dbfs: open table %q seq: %w", tb.Name, err)
 		}
+		// The persisted value is the reserved watermark (see nextSeq):
+		// resuming from it skips unused leased ids but never reuses one.
 		s.seqs[sch.Name] = binary.LittleEndian.Uint64(seqRaw)
+		s.seqHighs[sch.Name] = s.seqs[sch.Name]
 	}
 	// Format descriptors: the single per-session read of the format tree.
-	fmts, err := fs.Children(s.formatRoot)
+	fmts, err := meta.Children(s.formatRoot)
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: open formats: %w", err)
 	}
 	for _, fe := range fmts {
-		raw, err := readAll(fs, fe.Ino)
+		raw, err := readAll(meta, fe.Ino)
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: open format %q: %w", fe.Name, err)
 		}
@@ -248,21 +360,21 @@ func readAll(fs *inode.FS, ino inode.Ino) ([]byte, error) {
 	return buf, nil
 }
 
-// writeFileInode creates a file inode with contents, tagged tag, linked
-// under parent as name.
-func (s *Store) writeFileInode(parent inode.Ino, name, tag string, contents []byte) (inode.Ino, error) {
-	ino, err := s.fs.AllocInode(inode.ModeFile, tag)
+// writeFileInode creates a file inode on fs with contents, tagged tag,
+// linked under parent as name.
+func (s *Store) writeFileInode(fs *inode.FS, parent inode.Ino, name, tag string, contents []byte) (inode.Ino, error) {
+	ino, err := fs.AllocInode(inode.ModeFile, tag)
 	if err != nil {
 		return 0, err
 	}
 	if len(contents) > 0 {
-		if _, err := s.fs.WriteAt(ino, 0, contents); err != nil {
-			_ = s.fs.FreeInode(ino)
+		if _, err := fs.WriteAt(ino, 0, contents); err != nil {
+			_ = fs.FreeInode(ino)
 			return 0, err
 		}
 	}
-	if err := s.fs.AddChild(parent, name, ino); err != nil {
-		_ = s.fs.FreeInode(ino)
+	if err := fs.AddChild(parent, name, ino); err != nil {
+		_ = fs.FreeInode(ino)
 		return 0, err
 	}
 	return ino, nil
@@ -309,30 +421,36 @@ func (s *Store) CreateType(tok *lsm.Token, sch *Schema) error {
 	if _, ok := s.schemas[sch.Name]; ok {
 		return fmt.Errorf("%w: %q", ErrTypeExists, sch.Name)
 	}
-	tb, err := s.fs.AllocInode(inode.ModeTree, "table:"+sch.Name)
+	meta := s.metaFS()
+	tb, err := meta.AllocInode(inode.ModeTree, "table:"+sch.Name)
 	if err != nil {
 		return fmt.Errorf("dbfs: create type %q: %w", sch.Name, err)
 	}
-	if err := s.fs.AddChild(s.schemaRoot, sch.Name, tb); err != nil {
+	if err := meta.AddChild(s.schemaRoot, sch.Name, tb); err != nil {
 		return fmt.Errorf("dbfs: create type %q: %w", sch.Name, err)
 	}
 	raw, err := EncodeSchema(sch)
 	if err != nil {
 		return err
 	}
-	if _, err := s.writeFileInode(tb, defFileName, "schema-def", raw); err != nil {
+	if _, err := s.writeFileInode(meta, tb, defFileName, "schema-def", raw); err != nil {
 		return fmt.Errorf("dbfs: create type %q def: %w", sch.Name, err)
 	}
 	var seq [8]byte
-	if _, err := s.writeFileInode(tb, seqFileName, "schema-seq", seq[:]); err != nil {
+	if _, err := s.writeFileInode(meta, tb, seqFileName, "schema-seq", seq[:]); err != nil {
 		return fmt.Errorf("dbfs: create type %q seq: %w", sch.Name, err)
 	}
-	subs, err := s.fs.AllocInode(inode.ModeTree, "table-subjects:"+sch.Name)
-	if err != nil {
-		return fmt.Errorf("dbfs: create type %q subjects: %w", sch.Name, err)
-	}
-	if err := s.fs.AddChild(tb, tableSubjectsDir, subs); err != nil {
-		return fmt.Errorf("dbfs: create type %q subjects: %w", sch.Name, err)
+	// Second major tree, per instance: tables/<type> links every subject's
+	// record tree of this type on that instance, for fast per-table
+	// enumeration without crossing filesystems.
+	for i, fs := range s.fss {
+		subs, err := fs.AllocInode(inode.ModeTree, "table-subjects:"+clipTag(sch.Name))
+		if err != nil {
+			return fmt.Errorf("dbfs: create type %q subjects on instance %d: %w", sch.Name, i, err)
+		}
+		if err := fs.AddChild(s.tablesRoots[i], sch.Name, subs); err != nil {
+			return fmt.Errorf("dbfs: create type %q subjects on instance %d: %w", sch.Name, i, err)
+		}
 	}
 	// Format descriptor.
 	entries := make([]formatEntry, 0, len(sch.Fields))
@@ -343,12 +461,13 @@ func (s *Store) CreateType(tok *lsm.Token, sch *Schema) error {
 	if err != nil {
 		return fmt.Errorf("dbfs: encode format %q: %w", sch.Name, err)
 	}
-	if _, err := s.writeFileInode(s.formatRoot, sch.Name, "format:"+sch.Name, fraw); err != nil {
+	if _, err := s.writeFileInode(meta, s.formatRoot, sch.Name, "format:"+sch.Name, fraw); err != nil {
 		return fmt.Errorf("dbfs: create format %q: %w", sch.Name, err)
 	}
 	s.schemas[sch.Name] = sch
 	s.formats[sch.Name] = entries
 	s.seqs[sch.Name] = 0
+	s.seqHighs[sch.Name] = 0
 	s.bumpStats(func(st *Stats) { st.TypesCreated++ })
 	return nil
 }
@@ -433,50 +552,46 @@ func (s *Store) resolve(pdid string) (ref, *Schema, error) {
 }
 
 // subjectTypeTree resolves (creating if create is set) the tree inode
-// holding subject's records of the given type, maintaining both major
-// trees: subjects/<subj>/<type> and schema/<type>/subjects/<subj>.
-// Caller holds the subject's shard lock (write-side when create is set);
-// the inode FS serializes the cross-subject AddChild on the table's
-// subject list internally.
-func (s *Store) subjectTypeTree(typeName, subjectID string, create bool) (inode.Ino, error) {
-	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
+// holding subject's records of the given type on the subject's filesystem
+// instance, maintaining both major trees: subjects/<subj>/<type> and
+// tables/<type>/<subj>. Caller holds the subject's shard lock (write-side
+// when create is set); the inode FS serializes the cross-shard AddChild on
+// the instance's table subject list internally.
+func (s *Store) subjectTypeTree(sr shardRef, typeName, subjectID string, create bool) (inode.Ino, error) {
+	subjIno, err := sr.fs.Lookup(sr.subjRoot, subjectID)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		if !create {
 			return 0, fmt.Errorf("%w: subject %q", ErrNoRecord, subjectID)
 		}
-		subjIno, err = s.fs.AllocInode(inode.ModeTree, "subject:"+clipTag(subjectID))
+		subjIno, err = sr.fs.AllocInode(inode.ModeTree, "subject:"+clipTag(subjectID))
 		if err != nil {
 			return 0, err
 		}
-		if err := s.fs.AddChild(s.subjectRoot, subjectID, subjIno); err != nil {
+		if err := sr.fs.AddChild(sr.subjRoot, subjectID, subjIno); err != nil {
 			return 0, err
 		}
 	} else if err != nil {
 		return 0, err
 	}
-	tIno, err := s.fs.Lookup(subjIno, typeName)
+	tIno, err := sr.fs.Lookup(subjIno, typeName)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		if !create {
 			return 0, fmt.Errorf("%w: subject %q has no %q records", ErrNoRecord, subjectID, typeName)
 		}
-		tIno, err = s.fs.AllocInode(inode.ModeTree, "records:"+clipTag(typeName))
+		tIno, err = sr.fs.AllocInode(inode.ModeTree, "records:"+clipTag(typeName))
 		if err != nil {
 			return 0, err
 		}
-		if err := s.fs.AddChild(subjIno, typeName, tIno); err != nil {
+		if err := sr.fs.AddChild(subjIno, typeName, tIno); err != nil {
 			return 0, err
 		}
 		// Second major tree: link the subject's record tree from the
-		// table's subject list for fast per-table enumeration.
-		tb, err := s.fs.Lookup(s.schemaRoot, typeName)
+		// instance's table subject list for fast per-table enumeration.
+		subs, err := sr.fs.Lookup(sr.tablesRoot, typeName)
 		if err != nil {
 			return 0, err
 		}
-		subs, err := s.fs.Lookup(tb, tableSubjectsDir)
-		if err != nil {
-			return 0, err
-		}
-		if err := s.fs.AddChild(subs, subjectID, tIno); err != nil {
+		if err := sr.fs.AddChild(subs, subjectID, tIno); err != nil {
 			return 0, err
 		}
 	} else if err != nil {
@@ -493,25 +608,39 @@ func clipTag(s string) string {
 	return s
 }
 
-// nextSeq increments and persists the per-type record counter under the
-// meta lock — the one remaining global serialization point of an insert,
-// deliberately narrow (one 8-byte journaled write).
+// seqLease is how many record ids one durable write of a type's seq file
+// reserves. The persisted value is a watermark, not an exact count: after
+// a crash or remount the sequence resumes past the watermark, so up to
+// seqLease-1 ids can be skipped but none is ever reused — the property
+// pdids need. Leasing keeps the metaMu critical section (the one global
+// serialization point of an insert) off the journal-flush path for
+// seqLease-1 of every seqLease inserts.
+const seqLease = 64
+
+// nextSeq hands out the next record id for typeName under the meta lock,
+// durably extending the reserved watermark by seqLease whenever the lease
+// is exhausted (one 8-byte journaled write per seqLease ids).
 func (s *Store) nextSeq(typeName string) (uint64, error) {
 	s.metaMu.Lock()
 	defer s.metaMu.Unlock()
 	n := s.seqs[typeName] + 1
-	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
-	if err != nil {
-		return 0, err
-	}
-	seqIno, err := s.fs.Lookup(tb, seqFileName)
-	if err != nil {
-		return 0, err
-	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], n)
-	if _, err := s.fs.WriteAt(seqIno, 0, buf[:]); err != nil {
-		return 0, err
+	if n > s.seqHighs[typeName] {
+		high := s.seqHighs[typeName] + seqLease
+		meta := s.metaFS()
+		tb, err := meta.Lookup(s.schemaRoot, typeName)
+		if err != nil {
+			return 0, err
+		}
+		seqIno, err := meta.Lookup(tb, seqFileName)
+		if err != nil {
+			return 0, err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], high)
+		if _, err := meta.WriteAt(seqIno, 0, buf[:]); err != nil {
+			return 0, err
+		}
+		s.seqHighs[typeName] = high
 	}
 	s.seqs[typeName] = n
 	return n, nil
@@ -588,54 +717,55 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 	if err != nil {
 		return fail(err)
 	}
-	shard := s.shardFor(subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	tree, err := s.subjectTypeTree(typeName, subjectID, true)
+	sr := s.shardOf(subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	tree, err := s.subjectTypeTree(sr, typeName, subjectID, true)
 	if err != nil {
 		return fail(err)
 	}
 	recName := strconv.FormatUint(recNo, 10)
-	if _, err := s.writeFileInode(tree, recName+dataSuffix, "record", sealed); err != nil {
+	if _, err := s.writeFileInode(sr.fs, tree, recName+dataSuffix, "record", sealed); err != nil {
 		return fail(err)
 	}
 	if sealedSens != nil {
-		if _, err := s.writeFileInode(tree, recName+sensSuffix, "record-sens", sealedSens); err != nil {
+		if _, err := s.writeFileInode(sr.fs, tree, recName+sensSuffix, "record-sens", sealedSens); err != nil {
 			return fail(err)
 		}
 	}
 	// The membrane lands last: a record becomes visible to listings (which
 	// key on the membrane file) only once it is complete.
-	if _, err := s.writeFileInode(tree, recName+memSuffix, "membrane", memBytes); err != nil {
+	if _, err := s.writeFileInode(sr.fs, tree, recName+memSuffix, "membrane", memBytes); err != nil {
 		return fail(err)
 	}
 	s.bumpStats(func(st *Stats) { st.Inserts++ })
 	return pdid, nil
 }
 
-// recordInos resolves the inode numbers of a record's files. Caller holds
-// the subject's shard lock and has already validated the type (resolve).
-// The sens inode is 0 when the type has no sensitive part.
-func (s *Store) recordInos(r ref) (tree inode.Ino, data, sens, mem inode.Ino, err error) {
-	tree, err = s.subjectTypeTree(r.typeName, r.subjectID, false)
+// recordInos resolves the inode numbers of a record's files on its shard's
+// instance. Caller holds the subject's shard lock and has already validated
+// the type (resolve). The sens inode is 0 when the type has no sensitive
+// part.
+func (s *Store) recordInos(sr shardRef, r ref) (tree inode.Ino, data, sens, mem inode.Ino, err error) {
+	tree, err = s.subjectTypeTree(sr, r.typeName, r.subjectID, false)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
 	recName := strconv.FormatUint(r.recNo, 10)
-	data, err = s.fs.Lookup(tree, recName+dataSuffix)
+	data, err = sr.fs.Lookup(tree, recName+dataSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, r.pdid)
 	}
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	sens, err = s.fs.Lookup(tree, recName+sensSuffix)
+	sens, err = sr.fs.Lookup(tree, recName+sensSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		sens = 0
 	} else if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	mem, err = s.fs.Lookup(tree, recName+memSuffix)
+	mem, err = sr.fs.Lookup(tree, recName+memSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoMembrane, r.pdid)
 	}
@@ -654,20 +784,20 @@ func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, er
 	if err != nil {
 		return nil, err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.RLock()
-	defer shard.RUnlock()
-	return s.getMembraneLocked(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.RLock()
+	defer sr.lk.RUnlock()
+	return s.getMembraneLocked(sr, r)
 }
 
 // getMembraneLocked loads a membrane; caller holds the subject's shard lock
 // (either side).
-func (s *Store) getMembraneLocked(r ref) (*membrane.Membrane, error) {
-	_, _, _, memIno, err := s.recordInos(r)
+func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error) {
+	_, _, _, memIno, err := s.recordInos(sr, r)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := readAll(s.fs, memIno)
+	raw, err := readAll(sr.fs, memIno)
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: read membrane %s: %w", r.pdid, err)
 	}
@@ -693,10 +823,10 @@ func (s *Store) MutateMembrane(tok *lsm.Token, pdid string, mutate func(*membran
 	if err != nil {
 		return nil, err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	m, err := s.getMembraneLocked(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	m, err := s.getMembraneLocked(sr, r)
 	if err != nil {
 		return nil, err
 	}
@@ -706,7 +836,7 @@ func (s *Store) MutateMembrane(tok *lsm.Token, pdid string, mutate func(*membran
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.putMembraneLocked(r, m); err != nil {
+	if err := s.putMembraneLocked(sr, r, m); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -727,16 +857,16 @@ func (s *Store) PutMembrane(tok *lsm.Token, m *membrane.Membrane) error {
 	if err != nil {
 		return err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	return s.putMembraneLocked(r, m)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	return s.putMembraneLocked(sr, r, m)
 }
 
 // putMembraneLocked persists a membrane; caller holds the subject's shard
 // write lock.
-func (s *Store) putMembraneLocked(r ref, m *membrane.Membrane) error {
-	tree, _, _, memIno, err := s.recordInos(r)
+func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) error {
+	_, _, _, memIno, err := s.recordInos(sr, r)
 	if err != nil {
 		return err
 	}
@@ -745,13 +875,12 @@ func (s *Store) putMembraneLocked(r ref, m *membrane.Membrane) error {
 		return err
 	}
 	// Replace contents: truncate then rewrite.
-	if err := s.fs.Truncate(memIno, 0); err != nil {
+	if err := sr.fs.Truncate(memIno, 0); err != nil {
 		return err
 	}
-	if _, err := s.fs.WriteAt(memIno, 0, raw); err != nil {
+	if _, err := sr.fs.WriteAt(memIno, 0, raw); err != nil {
 		return err
 	}
-	_ = tree
 	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
 	return nil
 }
@@ -767,21 +896,21 @@ func (s *Store) GetRecord(tok *lsm.Token, pdid string) (Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.RLock()
-	defer shard.RUnlock()
-	return s.getRecordLocked(r, sch)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.RLock()
+	defer sr.lk.RUnlock()
+	return s.getRecordLocked(sr, r, sch)
 }
 
 // getRecordLocked loads and decrypts a record; caller holds the subject's
 // shard lock (either side) and has resolved the schema.
-func (s *Store) getRecordLocked(r ref, sch *Schema) (Record, error) {
-	_, dataIno, sensIno, _, err := s.recordInos(r)
+func (s *Store) getRecordLocked(sr shardRef, r ref, sch *Schema) (Record, error) {
+	_, dataIno, sensIno, _, err := s.recordInos(sr, r)
 	if err != nil {
 		return nil, err
 	}
 	plainPart, sensPart := partsOf(sch)
-	sealed, err := readAll(s.fs, dataIno)
+	sealed, err := readAll(sr.fs, dataIno)
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: read %s: %w", r.pdid, err)
 	}
@@ -794,7 +923,7 @@ func (s *Store) getRecordLocked(r ref, sch *Schema) (Record, error) {
 		return nil, err
 	}
 	if sensIno != 0 && len(sensPart) > 0 {
-		sealedSens, err := readAll(s.fs, sensIno)
+		sealedSens, err := readAll(sr.fs, sensIno)
 		if err != nil {
 			return nil, fmt.Errorf("dbfs: read sensitive %s: %w", r.pdid, err)
 		}
@@ -843,10 +972,10 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 			return err
 		}
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	_, dataIno, sensIno, _, err := s.recordInos(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	_, dataIno, sensIno, _, err := s.recordInos(sr, r)
 	if err != nil {
 		return err
 	}
@@ -860,17 +989,17 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 			return fmt.Errorf("dbfs: update %s: seal sensitive: %w", pdid, err)
 		}
 	}
-	if err := s.fs.Truncate(dataIno, 0); err != nil {
+	if err := sr.fs.Truncate(dataIno, 0); err != nil {
 		return err
 	}
-	if _, err := s.fs.WriteAt(dataIno, 0, sealed); err != nil {
+	if _, err := sr.fs.WriteAt(dataIno, 0, sealed); err != nil {
 		return err
 	}
 	if sensIno != 0 && sealedSens != nil {
-		if err := s.fs.Truncate(sensIno, 0); err != nil {
+		if err := sr.fs.Truncate(sensIno, 0); err != nil {
 			return err
 		}
-		if _, err := s.fs.WriteAt(sensIno, 0, sealedSens); err != nil {
+		if _, err := sr.fs.WriteAt(sensIno, 0, sealedSens); err != nil {
 			return err
 		}
 	}
@@ -890,10 +1019,10 @@ func (s *Store) Erase(tok *lsm.Token, pdid string) (escrowRef string, err error)
 	if err != nil {
 		return "", err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	m, err := s.getMembraneLocked(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	m, err := s.getMembraneLocked(sr, r)
 	if err != nil {
 		return "", err
 	}
@@ -912,7 +1041,7 @@ func (s *Store) Erase(tok *lsm.Token, pdid string) (escrowRef string, err error)
 	m.Erased = true
 	m.EscrowRef = rec.Ref
 	m.Version++
-	if err := s.putMembraneLocked(r, m); err != nil {
+	if err := s.putMembraneLocked(sr, r, m); err != nil {
 		return "", err
 	}
 	s.bumpStats(func(st *Stats) { st.Erasures++ })
@@ -930,10 +1059,10 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 	if err != nil {
 		return err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.Lock()
-	defer shard.Unlock()
-	tree, dataIno, sensIno, memIno, err := s.recordInos(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.Lock()
+	defer sr.lk.Unlock()
+	tree, dataIno, sensIno, memIno, err := s.recordInos(sr, r)
 	if err != nil {
 		return err
 	}
@@ -941,24 +1070,24 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 	// Mirror Insert's visibility rule (membrane written last): remove the
 	// membrane FIRST, so the lock-free listings — which key on the
 	// membrane file — never surface a record whose data is already gone.
-	if err := s.fs.RemoveChild(tree, recName+memSuffix); err != nil {
+	if err := sr.fs.RemoveChild(tree, recName+memSuffix); err != nil {
 		return err
 	}
-	if err := s.fs.FreeInode(memIno); err != nil {
+	if err := sr.fs.FreeInode(memIno); err != nil {
 		return err
 	}
 	if sensIno != 0 {
-		if err := s.fs.RemoveChild(tree, recName+sensSuffix); err != nil {
+		if err := sr.fs.RemoveChild(tree, recName+sensSuffix); err != nil {
 			return err
 		}
-		if err := s.fs.FreeInode(sensIno); err != nil {
+		if err := sr.fs.FreeInode(sensIno); err != nil {
 			return err
 		}
 	}
-	if err := s.fs.RemoveChild(tree, recName+dataSuffix); err != nil {
+	if err := sr.fs.RemoveChild(tree, recName+dataSuffix); err != nil {
 		return err
 	}
-	if err := s.fs.FreeInode(dataIno); err != nil {
+	if err := sr.fs.FreeInode(dataIno); err != nil {
 		return err
 	}
 	// Shred keys so any residues (ciphertext) stay unreadable forever.
@@ -984,30 +1113,33 @@ func (s *Store) RawCiphertext(tok *lsm.Token, pdid string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	shard := s.shardFor(r.subjectID)
-	shard.RLock()
-	defer shard.RUnlock()
-	_, dataIno, _, _, err := s.recordInos(r)
+	sr := s.shardOf(r.subjectID)
+	sr.lk.RLock()
+	defer sr.lk.RUnlock()
+	_, dataIno, _, _, err := s.recordInos(sr, r)
 	if err != nil {
 		return nil, err
 	}
-	return readAll(s.fs, dataIno)
+	return readAll(sr.fs, dataIno)
 }
 
-// Subjects lists every subject with data in DBFS, sorted.
+// Subjects lists every subject with data in DBFS, sorted — the union of
+// every instance's subject tree.
 func (s *Store) Subjects(tok *lsm.Token) ([]string, error) {
 	if err := s.check(tok, lsm.OpScan, "subjects"); err != nil {
 		return nil, err
 	}
 	// No shard lock: the inode FS returns a consistent child snapshot, and
 	// a scan concurrent with inserts is inherently a racy point-in-time view.
-	ents, err := s.fs.Children(s.subjectRoot)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, 0, len(ents))
-	for _, e := range ents {
-		out = append(out, e.Name)
+	var out []string
+	for i, fs := range s.fss {
+		ents, err := fs.Children(s.subjectRoots[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			out = append(out, e.Name)
+		}
 	}
 	sort.Strings(out)
 	return out, nil
@@ -1018,23 +1150,23 @@ func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error
 	if err := s.check(tok, lsm.OpScan, "subject/"+subjectID); err != nil {
 		return nil, err
 	}
-	shard := s.shardFor(subjectID)
-	shard.RLock()
-	defer shard.RUnlock()
-	subjIno, err := s.fs.Lookup(s.subjectRoot, subjectID)
+	sr := s.shardOf(subjectID)
+	sr.lk.RLock()
+	defer sr.lk.RUnlock()
+	subjIno, err := sr.fs.Lookup(sr.subjRoot, subjectID)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	typeTrees, err := s.fs.Children(subjIno)
+	typeTrees, err := sr.fs.Children(subjIno)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
 	for _, tt := range typeTrees {
-		recs, err := s.fs.Children(tt.Ino)
+		recs, err := sr.fs.Children(tt.Ino)
 		if err != nil {
 			return nil, err
 		}
@@ -1049,7 +1181,7 @@ func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error
 }
 
 // ListByType returns every pdid of a type across all subjects, sorted. It
-// walks the schema tree's per-table subject links (the second major tree).
+// walks each instance's per-table subject links (the second major tree).
 func (s *Store) ListByType(tok *lsm.Token, typeName string) ([]string, error) {
 	if err := s.check(tok, lsm.OpScan, "type/"+typeName); err != nil {
 		return nil, err
@@ -1059,30 +1191,48 @@ func (s *Store) ListByType(tok *lsm.Token, typeName string) ([]string, error) {
 	}
 	// Cross-subject scan: like Subjects, a point-in-time view without shard
 	// locks; per-record files are only read later under their shard lock.
-	tb, err := s.fs.Lookup(s.schemaRoot, typeName)
-	if err != nil {
-		return nil, err
-	}
-	subs, err := s.fs.Lookup(tb, tableSubjectsDir)
-	if err != nil {
-		return nil, err
-	}
-	subjects, err := s.fs.Children(subs)
-	if err != nil {
-		return nil, err
-	}
 	var out []string
-	for _, sj := range subjects {
-		recs, err := s.fs.Children(sj.Ino)
+	for i, fs := range s.fss {
+		subs, err := fs.Lookup(s.tablesRoots[i], typeName)
+		if errors.Is(err, inode.ErrChildNotFound) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range recs {
-			if name, ok := strings.CutSuffix(r.Name, memSuffix); ok {
-				out = append(out, typeName+"/"+sj.Name+"/"+name)
+		subjects, err := fs.Children(subs)
+		if err != nil {
+			return nil, err
+		}
+		for _, sj := range subjects {
+			recs, err := fs.Children(sj.Ino)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range recs {
+				if name, ok := strings.CutSuffix(r.Name, memSuffix); ok {
+					out = append(out, typeName+"/"+sj.Name+"/"+name)
+				}
 			}
 		}
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// JournalStats aggregates the WAL counters across every filesystem
+// instance, so experiments can report the achieved group-commit batching.
+func (s *Store) JournalStats() wal.Stats {
+	var out wal.Stats
+	for _, fs := range s.fss {
+		st := fs.JournalStats()
+		out.TxnsCommitted += st.TxnsCommitted
+		out.BlocksLogged += st.BlocksLogged
+		out.TxnsReplayed += st.TxnsReplayed
+		out.GroupCommits += st.GroupCommits
+		if st.MaxGroupTxns > out.MaxGroupTxns {
+			out.MaxGroupTxns = st.MaxGroupTxns
+		}
+	}
+	return out
 }

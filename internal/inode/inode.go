@@ -154,6 +154,13 @@ type Options struct {
 	JournalBlocks uint64
 	// Clock supplies mtimes. Default simclock.Real.
 	Clock simclock.Clock
+	// CommitWindow is how long the journal committer waits for more
+	// transactions before flushing a commit group (0 drains immediately;
+	// see wal.Log.Configure).
+	CommitWindow time.Duration
+	// GroupMaxBatch bounds transactions per commit group (0 = the wal
+	// default, 1 disables group commit).
+	GroupMaxBatch int
 }
 
 func (o *Options) withDefaults() {
@@ -168,7 +175,18 @@ func (o *Options) withDefaults() {
 	}
 }
 
-// FS is a mounted inode filesystem. All methods are safe for concurrent use.
+// FS is a mounted inode filesystem. All methods are safe for concurrent
+// use.
+//
+// Locking and durability: helpers suffixed *Locked require fs.mu — holding
+// it is part of their contract, and the suffix is deliberate so a future
+// lock split cannot silently call them unlocked. Mutating methods stage a
+// journal transaction under fs.mu, enqueue it, RELEASE the lock, and only
+// then wait for the commit group to become durable. fs.mu therefore covers
+// staging but not device flushing, which lets concurrent writers coalesce
+// into WAL commit groups; reads go through the journal's in-flight overlay
+// (wal.Log.ReadThrough) so a transaction staged after its predecessor
+// always observes the predecessor's writes even before they checkpoint.
 type FS struct {
 	dev   blockdev.Device
 	clock simclock.Clock
@@ -266,6 +284,7 @@ func Format(dev blockdev.Device, opts Options) (*FS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("inode: open journal: %w", err)
 	}
+	log.Configure(opts.CommitWindow, opts.GroupMaxBatch)
 	fs.log = log
 
 	// Create the root tree inode (ino 1) through the normal journaled path.
@@ -353,6 +372,16 @@ func (fs *FS) JournalRegion() (start, length uint64) {
 // JournalStats exposes the journal counters.
 func (fs *FS) JournalStats() wal.Stats { return fs.log.Stats() }
 
+// ConfigureJournal sets the group-commit parameters on a mounted
+// filesystem (see wal.Log.Configure). Format applies Options.CommitWindow
+// and GroupMaxBatch itself; Mount cannot take options without breaking its
+// signature, so remount paths that need a tuned window — or the
+// group-commit-disabled ablation baseline — call this right after Mount,
+// before concurrent use.
+func (fs *FS) ConfigureJournal(window time.Duration, maxBatch int) {
+	fs.log.Configure(window, maxBatch)
+}
+
 // --- inode encoding ---
 
 func encodeInode(d dinode, out []byte) {
@@ -390,26 +419,31 @@ func decodeInode(in []byte) dinode {
 	return d
 }
 
-// --- block helpers (callers hold fs.mu) ---
+// --- block helpers ---
+//
+// Every helper below is suffixed *Locked: the caller MUST hold fs.mu. The
+// naming is the enforcement mechanism — a call site without the lock reads
+// as wrong in review, and the public API wraps them without exception.
 
-// readBlock reads block n, preferring the image buffered in tx so that a
-// transaction observes its own writes.
-func (fs *FS) readBlock(tx *wal.Txn, n uint64, buf []byte) error {
+// readBlockLocked reads block n, preferring the image buffered in tx (a
+// transaction observes its own writes), then any enqueued-but-not-yet-
+// checkpointed image in the journal overlay, then the device.
+func (fs *FS) readBlockLocked(tx *wal.Txn, n uint64, buf []byte) error {
 	if tx != nil {
 		if img, ok := tx.Read(n); ok {
 			copy(buf, img)
 			return nil
 		}
 	}
-	return fs.dev.ReadBlock(n, buf)
+	return fs.log.ReadThrough(n, buf)
 }
 
-// flushInode stages inode ino's table block into tx.
-func (fs *FS) flushInode(tx *wal.Txn, ino Ino) error {
+// flushInodeLocked stages inode ino's table block into tx.
+func (fs *FS) flushInodeLocked(tx *wal.Txn, ino Ino) error {
 	idx := uint64(ino)
 	blk := fs.sb.InodeStart + idx/InodesPerBlock
 	buf := make([]byte, blockdev.BlockSize)
-	if err := fs.readBlock(tx, blk, buf); err != nil {
+	if err := fs.readBlockLocked(tx, blk, buf); err != nil {
 		return err
 	}
 	off := (idx % InodesPerBlock) * InodeSize
@@ -417,19 +451,21 @@ func (fs *FS) flushInode(tx *wal.Txn, ino Ino) error {
 	return tx.Write(blk, buf)
 }
 
-// flushBitmapFor stages the bitmap block covering device block b into tx.
-func (fs *FS) flushBitmapFor(tx *wal.Txn, b uint64) error {
+// flushBitmapForLocked stages the bitmap block covering device block b into
+// tx.
+func (fs *FS) flushBitmapForLocked(tx *wal.Txn, b uint64) error {
 	bmBlk := (b / 8) / blockdev.BlockSize
 	start := bmBlk * blockdev.BlockSize
 	return tx.Write(fs.sb.BitmapStart+bmBlk, fs.bitmap[start:start+blockdev.BlockSize])
 }
 
-// allocBlock finds a free data block, marks it used, and stages the bitmap.
-func (fs *FS) allocBlock(tx *wal.Txn) (uint64, error) {
+// allocBlockLocked finds a free data block, marks it used, and stages the
+// bitmap.
+func (fs *FS) allocBlockLocked(tx *wal.Txn) (uint64, error) {
 	for b := fs.sb.DataStart; b < fs.sb.NBlocks; b++ {
 		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
 			fs.bitmap[b/8] |= 1 << (b % 8)
-			if err := fs.flushBitmapFor(tx, b); err != nil {
+			if err := fs.flushBitmapForLocked(tx, b); err != nil {
 				return 0, err
 			}
 			return b, nil
@@ -438,17 +474,17 @@ func (fs *FS) allocBlock(tx *wal.Txn) (uint64, error) {
 	return 0, ErrNoSpace
 }
 
-// freeBlock clears a block's bitmap bit. The block contents are NOT zeroed —
-// the same residue semantics as ext4.
-func (fs *FS) freeBlock(tx *wal.Txn, b uint64) error {
+// freeBlockLocked clears a block's bitmap bit. The block contents are NOT
+// zeroed — the same residue semantics as ext4.
+func (fs *FS) freeBlockLocked(tx *wal.Txn, b uint64) error {
 	if b < fs.sb.DataStart || b >= fs.sb.NBlocks {
 		return fmt.Errorf("inode: freeBlock %d outside data region", b)
 	}
 	fs.bitmap[b/8] &^= 1 << (b % 8)
-	return fs.flushBitmapFor(tx, b)
+	return fs.flushBitmapForLocked(tx, b)
 }
 
-func (fs *FS) checkIno(ino Ino) error {
+func (fs *FS) checkInoLocked(ino Ino) error {
 	if ino == 0 || uint64(ino) >= fs.sb.NInodes {
 		return fmt.Errorf("%w: %d", ErrBadInode, ino)
 	}
@@ -456,6 +492,58 @@ func (fs *FS) checkIno(ino Ino) error {
 		return fmt.Errorf("%w: %d is free", ErrBadInode, ino)
 	}
 	return nil
+}
+
+// commitUnlock enqueues tx, releases fs.mu, and waits for tx's commit
+// group to become durable. The caller must hold fs.mu, must have finished
+// all staging, and must not touch FS state afterwards: the lock is gone by
+// the time the wait starts, which is exactly what lets concurrent writers
+// coalesce into one WAL group.
+func (fs *FS) commitUnlock(tx *wal.Txn) error {
+	tk, err := tx.Enqueue()
+	fs.mu.Unlock()
+	if err != nil || tk == nil {
+		return err
+	}
+	return tk.Wait()
+}
+
+// waitTickets waits for every enqueued chunk of a multi-transaction
+// mutation, returning the first error. Must be called without fs.mu.
+func waitTickets(tks []*wal.Ticket) error {
+	_, err := waitChunks(tks)
+	return err
+}
+
+// waitChunks waits for enqueued chunk tickets in order and reports how many
+// flushed durably before the first failure (draining the rest so journal
+// accounting stays consistent). Must be called without fs.mu.
+func waitChunks(tks []*wal.Ticket) (ok int, err error) {
+	for i, tk := range tks {
+		if tk != nil {
+			if werr := tk.Wait(); werr != nil {
+				for _, rest := range tks[i+1:] {
+					if rest != nil {
+						_ = rest.Wait()
+					}
+				}
+				return ok, werr
+			}
+		}
+		ok = i + 1
+	}
+	return ok, nil
+}
+
+// unlockWait releases fs.mu, waits for the enqueued tickets, and merges a
+// durability failure over err (the staging outcome). The caller must hold
+// fs.mu and must not touch FS state afterwards.
+func (fs *FS) unlockWait(tickets []*wal.Ticket, err error) error {
+	fs.mu.Unlock()
+	if werr := waitTickets(tickets); werr != nil {
+		return werr
+	}
+	return err
 }
 
 // --- public API ---
@@ -469,7 +557,6 @@ func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
 	}
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	for i := uint64(1); i < fs.sb.NInodes; i++ {
 		if fs.itab[i].Mode != ModeFree {
 			continue
@@ -480,17 +567,27 @@ func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 			Tag:       tag,
 		}
 		tx := fs.log.Begin()
-		if err := fs.flushInode(tx, Ino(i)); err != nil {
+		if err := fs.flushInodeLocked(tx, Ino(i)); err != nil {
 			tx.Abort()
 			fs.itab[i] = dinode{}
+			fs.mu.Unlock()
 			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
 		}
-		if err := tx.Commit(); err != nil {
-			fs.itab[i] = dinode{}
+		if err := fs.commitUnlock(tx); err != nil {
+			// Roll the in-memory allocation back so the slot is not
+			// leaked for the rest of the mount. The lock was released
+			// for the wait, so only reclaim the slot if nothing linked
+			// the failed inode in the meantime.
+			fs.mu.Lock()
+			if fs.itab[i].Links == 0 {
+				fs.itab[i] = dinode{}
+			}
+			fs.mu.Unlock()
 			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
 		}
 		return Ino(i), nil
 	}
+	fs.mu.Unlock()
 	return 0, fmt.Errorf("%w: inode table full", ErrNoSpace)
 }
 
@@ -498,33 +595,36 @@ func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 // Data blocks are not zeroed; see the package comment.
 func (fs *FS) FreeInode(ino Ino) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	d := &fs.itab[ino]
 	if d.Mode == ModeTree && d.Size > 0 {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
 	}
 	tx := fs.log.Begin()
-	if err := fs.freeInodeBlocks(tx, ino); err != nil {
+	if err := fs.freeInodeBlocksLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
 	fs.itab[ino] = dinode{}
-	if err := fs.flushInode(tx, ino); err != nil {
+	if err := fs.flushInodeLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
-	return tx.Commit()
+	return fs.commitUnlock(tx)
 }
 
-// freeInodeBlocks releases every data block mapped by ino.
-func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
+// freeInodeBlocksLocked releases every data block mapped by ino.
+func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
 	d := &fs.itab[ino]
 	for i := 0; i < NumDirect; i++ {
 		if d.Direct[i] != 0 {
-			if err := fs.freeBlock(tx, d.Direct[i]); err != nil {
+			if err := fs.freeBlockLocked(tx, d.Direct[i]); err != nil {
 				return err
 			}
 			d.Direct[i] = 0
@@ -532,18 +632,18 @@ func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
 	}
 	freeIndirect := func(ptrBlock uint64) error {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
 			return err
 		}
 		for j := 0; j < PtrsPerBlock; j++ {
 			p := binary.LittleEndian.Uint64(buf[8*j:])
 			if p != 0 {
-				if err := fs.freeBlock(tx, p); err != nil {
+				if err := fs.freeBlockLocked(tx, p); err != nil {
 					return err
 				}
 			}
 		}
-		return fs.freeBlock(tx, ptrBlock)
+		return fs.freeBlockLocked(tx, ptrBlock)
 	}
 	if d.Indirect != 0 {
 		if err := freeIndirect(d.Indirect); err != nil {
@@ -553,7 +653,7 @@ func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
 	}
 	if d.DblInd != 0 {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlock(tx, d.DblInd, buf); err != nil {
+		if err := fs.readBlockLocked(tx, d.DblInd, buf); err != nil {
 			return err
 		}
 		for j := 0; j < PtrsPerBlock; j++ {
@@ -564,7 +664,7 @@ func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
 				}
 			}
 		}
-		if err := fs.freeBlock(tx, d.DblInd); err != nil {
+		if err := fs.freeBlockLocked(tx, d.DblInd); err != nil {
 			return err
 		}
 		d.DblInd = 0
@@ -577,12 +677,16 @@ func (fs *FS) freeInodeBlocks(tx *wal.Txn, ino Ino) error {
 // residue but NOT journal residue (old images are already logged).
 func (fs *FS) SecureFreeInode(ino Ino) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	// Drain the commit queue first: a queued checkpoint landing after the
+	// zero pass would resurrect the very bytes this variant scrubs.
+	fs.log.Barrier()
+	if err := fs.checkInoLocked(ino); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	d := &fs.itab[ino]
 	if d.Mode == ModeTree && d.Size > 0 {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
 	}
 	zero := make([]byte, blockdev.BlockSize)
@@ -593,33 +697,37 @@ func (fs *FS) SecureFreeInode(ino Ino) error {
 	for bi := uint64(0); bi < nblocks; bi++ {
 		phys, err := fs.bmapLocked(nil, ino, bi, false)
 		if err != nil {
+			fs.mu.Unlock()
 			return err
 		}
 		if phys == 0 {
 			continue
 		}
 		if err := fs.dev.WriteBlock(phys, zero); err != nil {
+			fs.mu.Unlock()
 			return err
 		}
 	}
 	tx := fs.log.Begin()
-	if err := fs.freeInodeBlocks(tx, ino); err != nil {
+	if err := fs.freeInodeBlocksLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
 	fs.itab[ino] = dinode{}
-	if err := fs.flushInode(tx, ino); err != nil {
+	if err := fs.flushInodeLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
-	return tx.Commit()
+	return fs.commitUnlock(tx)
 }
 
 // Stat returns metadata for ino.
 func (fs *FS) Stat(ino Ino) (Info, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
 		return Info{}, err
 	}
 	d := fs.itab[ino]
@@ -639,17 +747,18 @@ func (fs *FS) SetTag(ino Ino, tag string) error {
 		return fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
 	}
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	fs.itab[ino].Tag = tag
 	tx := fs.log.Begin()
-	if err := fs.flushInode(tx, ino); err != nil {
+	if err := fs.flushInodeLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
-	return tx.Commit()
+	return fs.commitUnlock(tx)
 }
 
 // bmapLocked maps file-relative block bi of ino to a device block. With
@@ -659,7 +768,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 	d := &fs.itab[ino]
 	if bi < NumDirect {
 		if d.Direct[bi] == 0 && alloc {
-			b, err := fs.allocBlock(tx)
+			b, err := fs.allocBlockLocked(tx)
 			if err != nil {
 				return 0, err
 			}
@@ -672,12 +781,12 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 	// loadPtr reads slot within ptrBlock, allocating through it if needed.
 	loadPtr := func(ptrBlock uint64, slot uint64) (uint64, error) {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
 			return 0, err
 		}
 		p := binary.LittleEndian.Uint64(buf[8*slot:])
 		if p == 0 && alloc {
-			b, err := fs.allocBlock(tx)
+			b, err := fs.allocBlockLocked(tx)
 			if err != nil {
 				return 0, err
 			}
@@ -695,7 +804,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 			if !alloc {
 				return 0, nil
 			}
-			b, err := fs.allocBlock(tx)
+			b, err := fs.allocBlockLocked(tx)
 			if err != nil {
 				return 0, err
 			}
@@ -715,7 +824,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 		if !alloc {
 			return 0, nil
 		}
-		b, err := fs.allocBlock(tx)
+		b, err := fs.allocBlockLocked(tx)
 		if err != nil {
 			return 0, err
 		}
@@ -725,7 +834,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 		d.DblInd = b
 	}
 	l1Slot, l2Slot := bi/PtrsPerBlock, bi%PtrsPerBlock
-	l1, err := loadPtrBlock(fs, tx, d.DblInd, l1Slot, alloc)
+	l1, err := fs.loadPtrBlockLocked(tx, d.DblInd, l1Slot, alloc)
 	if err != nil {
 		return 0, err
 	}
@@ -735,17 +844,17 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 	return loadPtr(l1, l2Slot)
 }
 
-// loadPtrBlock resolves (and with alloc, creates) the level-1 pointer block
-// at slot within the double-indirect block dbl. New pointer blocks are
-// zero-initialized inside the transaction.
-func loadPtrBlock(fs *FS, tx *wal.Txn, dbl, slot uint64, alloc bool) (uint64, error) {
+// loadPtrBlockLocked resolves (and with alloc, creates) the level-1 pointer
+// block at slot within the double-indirect block dbl. New pointer blocks
+// are zero-initialized inside the transaction.
+func (fs *FS) loadPtrBlockLocked(tx *wal.Txn, dbl, slot uint64, alloc bool) (uint64, error) {
 	buf := make([]byte, blockdev.BlockSize)
-	if err := fs.readBlock(tx, dbl, buf); err != nil {
+	if err := fs.readBlockLocked(tx, dbl, buf); err != nil {
 		return 0, err
 	}
 	p := binary.LittleEndian.Uint64(buf[8*slot:])
 	if p == 0 && alloc {
-		b, err := fs.allocBlock(tx)
+		b, err := fs.allocBlockLocked(tx)
 		if err != nil {
 			return 0, err
 		}
@@ -763,17 +872,43 @@ func loadPtrBlock(fs *FS, tx *wal.Txn, dbl, slot uint64, alloc bool) (uint64, er
 
 // WriteAt writes p at byte offset off in ino, extending the file as needed.
 // Large writes are split across multiple journal transactions, each of which
-// is individually atomic.
+// is individually atomic. All chunks are staged (and enqueued) under fs.mu,
+// then awaited together after the lock is released, so a large write's own
+// chunks form natural commit groups.
 func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
+		fs.mu.Unlock()
 		return 0, err
 	}
 	if (off+uint64(len(p))+blockdev.BlockSize-1)/blockdev.BlockSize > MaxFileBlocks {
+		fs.mu.Unlock()
 		return 0, ErrFileTooBig
 	}
-	written := 0
+	var (
+		written int
+		tickets []*wal.Ticket
+		ends    []int // bytes staged through each enqueued chunk
+	)
+	// fail finalizes an error mid-write: the current txn (if any) is
+	// aborted, the lock dropped, and already-enqueued chunks awaited so
+	// the returned byte count reflects only what actually became durable.
+	// A durability failure supersedes the staging error.
+	fail := func(tx *wal.Txn, err error) (int, error) {
+		if tx != nil {
+			tx.Abort()
+		}
+		fs.mu.Unlock()
+		okN, werr := waitChunks(tickets)
+		if werr != nil {
+			err = werr
+		}
+		durable := 0
+		if okN > 0 {
+			durable = ends[okN-1]
+		}
+		return durable, err
+	}
 	for written < len(p) {
 		tx := fs.log.Begin()
 		chunkBlocks := 0
@@ -787,20 +922,17 @@ func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 			}
 			phys, err := fs.bmapLocked(tx, ino, bi, true)
 			if err != nil {
-				tx.Abort()
-				return written, err
+				return fail(tx, err)
 			}
 			buf := make([]byte, blockdev.BlockSize)
 			if bo != 0 || n != blockdev.BlockSize {
-				if err := fs.readBlock(tx, phys, buf); err != nil {
-					tx.Abort()
-					return written, err
+				if err := fs.readBlockLocked(tx, phys, buf); err != nil {
+					return fail(tx, err)
 				}
 			}
 			copy(buf[bo:], p[written:written+int(n)])
 			if err := tx.Write(phys, buf); err != nil {
-				tx.Abort()
-				return written, err
+				return fail(tx, err)
 			}
 			written += int(n)
 			chunkBlocks++
@@ -810,13 +942,23 @@ func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 			d.Size = end
 		}
 		d.MTimeNano = fs.clock.Now().UnixNano()
-		if err := fs.flushInode(tx, ino); err != nil {
-			tx.Abort()
-			return written, err
+		if err := fs.flushInodeLocked(tx, ino); err != nil {
+			return fail(tx, err)
 		}
-		if err := tx.Commit(); err != nil {
-			return written, err
+		tk, err := tx.Enqueue()
+		if err != nil {
+			return fail(nil, err)
 		}
+		tickets = append(tickets, tk)
+		ends = append(ends, written)
+	}
+	fs.mu.Unlock()
+	if okN, err := waitChunks(tickets); err != nil {
+		durable := 0
+		if okN > 0 {
+			durable = ends[okN-1]
+		}
+		return durable, err
 	}
 	return written, nil
 }
@@ -827,7 +969,7 @@ func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 func (fs *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
 		return 0, err
 	}
 	d := &fs.itab[ino]
@@ -857,7 +999,7 @@ func (fs *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 				p[read+int(i)] = 0
 			}
 		} else {
-			if err := fs.dev.ReadBlock(phys, buf); err != nil {
+			if err := fs.readBlockLocked(nil, phys, buf); err != nil {
 				return read, err
 			}
 			copy(p[read:read+int(n)], buf[bo:bo+n])
@@ -871,12 +1013,13 @@ func (fs *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 // past the new end are freed; the partial tail block is not scrubbed.
 func (fs *FS) Truncate(ino Ino, size uint64) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(ino); err != nil {
+	if err := fs.checkInoLocked(ino); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	d := &fs.itab[ino]
 	if size >= d.Size {
+		fs.mu.Unlock()
 		return nil
 	}
 	keep := (size + blockdev.BlockSize - 1) / blockdev.BlockSize
@@ -886,33 +1029,37 @@ func (fs *FS) Truncate(ino Ino, size uint64) error {
 		phys, err := fs.bmapLocked(tx, ino, bi, false)
 		if err != nil {
 			tx.Abort()
+			fs.mu.Unlock()
 			return err
 		}
 		if phys == 0 {
 			continue
 		}
-		if err := fs.freeBlock(tx, phys); err != nil {
+		if err := fs.freeBlockLocked(tx, phys); err != nil {
 			tx.Abort()
+			fs.mu.Unlock()
 			return err
 		}
-		if err := fs.clearMapping(tx, ino, bi); err != nil {
+		if err := fs.clearMappingLocked(tx, ino, bi); err != nil {
 			tx.Abort()
+			fs.mu.Unlock()
 			return err
 		}
 	}
 	d.Size = size
 	d.MTimeNano = fs.clock.Now().UnixNano()
-	if err := fs.flushInode(tx, ino); err != nil {
+	if err := fs.flushInodeLocked(tx, ino); err != nil {
 		tx.Abort()
+		fs.mu.Unlock()
 		return err
 	}
-	return tx.Commit()
+	return fs.commitUnlock(tx)
 }
 
-// clearMapping zeroes the pointer to file block bi (direct or indirect).
-// Indirect pointer blocks are left allocated for simplicity; FreeInode
-// reclaims them.
-func (fs *FS) clearMapping(tx *wal.Txn, ino Ino, bi uint64) error {
+// clearMappingLocked zeroes the pointer to file block bi (direct or
+// indirect). Indirect pointer blocks are left allocated for simplicity;
+// FreeInode reclaims them.
+func (fs *FS) clearMappingLocked(tx *wal.Txn, ino Ino, bi uint64) error {
 	d := &fs.itab[ino]
 	if bi < NumDirect {
 		d.Direct[bi] = 0
@@ -921,7 +1068,7 @@ func (fs *FS) clearMapping(tx *wal.Txn, ino Ino, bi uint64) error {
 	bi -= NumDirect
 	clearSlot := func(ptrBlock, slot uint64) error {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
+		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint64(buf[8*slot:], 0)
@@ -937,7 +1084,7 @@ func (fs *FS) clearMapping(tx *wal.Txn, ino Ino, bi uint64) error {
 	if d.DblInd == 0 {
 		return nil
 	}
-	l1, err := loadPtrBlock(fs, tx, d.DblInd, bi/PtrsPerBlock, false)
+	l1, err := fs.loadPtrBlockLocked(tx, d.DblInd, bi/PtrsPerBlock, false)
 	if err != nil || l1 == 0 {
 		return err
 	}

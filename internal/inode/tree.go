@@ -3,6 +3,8 @@ package inode
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wal"
 )
 
 // This file implements named tree links between inodes. The paper's DBFS is
@@ -90,7 +92,7 @@ func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
 				buf[read+int(i)] = 0
 			}
 		} else {
-			if err := fs.dev.ReadBlock(phys, blk); err != nil {
+			if err := fs.readBlockLocked(nil, phys, blk); err != nil {
 				return nil, err
 			}
 			copy(buf[read:read+int(n)], blk[bo:bo+n])
@@ -100,13 +102,17 @@ func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
 	return decodeDirents(buf)
 }
 
-// storeTreeLocked rewrites the full entry list of tree inode t. Caller holds
-// fs.mu. The rewrite shares the WriteAt/Truncate implementations' journaled
-// path by calling their internals directly.
-func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) error {
+// storeTreeLocked rewrites the full entry list of tree inode t. Caller
+// holds fs.mu. The rewrite shares the WriteAt/Truncate implementations'
+// journaled path by calling their internals directly; its transactions are
+// enqueued, not awaited — the returned tickets are waited on by the caller
+// AFTER fs.mu is released, so tree mutations group-commit like everything
+// else. On error, the caller still owns the returned tickets.
+func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) ([]*wal.Ticket, error) {
 	payload := encodeDirents(ents)
 	d := &fs.itab[t]
 	oldSize := d.Size
+	var tickets []*wal.Ticket
 
 	// Write new payload (if any), then shrink if the tree got smaller.
 	written := 0
@@ -124,78 +130,72 @@ func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) error {
 			phys, err := fs.bmapLocked(tx, t, bi, true)
 			if err != nil {
 				tx.Abort()
-				return err
+				return tickets, err
 			}
 			buf := make([]byte, 4096)
 			if bo != 0 || n != 4096 {
-				if err := fs.readBlock(tx, phys, buf); err != nil {
+				if err := fs.readBlockLocked(tx, phys, buf); err != nil {
 					tx.Abort()
-					return err
+					return tickets, err
 				}
 			}
 			copy(buf[bo:], payload[written:written+int(n)])
 			if err := tx.Write(phys, buf); err != nil {
 				tx.Abort()
-				return err
+				return tickets, err
 			}
 			written += int(n)
 			chunk++
 		}
 		d.Size = maxU64(d.Size, uint64(written))
 		d.MTimeNano = fs.clock.Now().UnixNano()
-		if err := fs.flushInode(tx, t); err != nil {
+		if err := fs.flushInodeLocked(tx, t); err != nil {
 			tx.Abort()
-			return err
+			return tickets, err
 		}
-		if err := tx.Commit(); err != nil {
-			return err
+		tk, err := tx.Enqueue()
+		if err != nil {
+			return tickets, err
 		}
+		tickets = append(tickets, tk)
 	}
 	newSize := uint64(len(payload))
+	tx := fs.log.Begin()
 	if newSize < oldSize {
 		// Shrink: free whole blocks past the new end.
 		keep := (newSize + 4095) / 4096
 		total := (oldSize + 4095) / 4096
-		tx := fs.log.Begin()
 		for bi := keep; bi < total; bi++ {
 			phys, err := fs.bmapLocked(tx, t, bi, false)
 			if err != nil {
 				tx.Abort()
-				return err
+				return tickets, err
 			}
 			if phys == 0 {
 				continue
 			}
-			if err := fs.freeBlock(tx, phys); err != nil {
+			if err := fs.freeBlockLocked(tx, phys); err != nil {
 				tx.Abort()
-				return err
+				return tickets, err
 			}
-			if err := fs.clearMapping(tx, t, bi); err != nil {
+			if err := fs.clearMappingLocked(tx, t, bi); err != nil {
 				tx.Abort()
-				return err
+				return tickets, err
 			}
 		}
-		d.Size = newSize
 		d.MTimeNano = fs.clock.Now().UnixNano()
-		if err := fs.flushInode(tx, t); err != nil {
-			tx.Abort()
-			return err
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	} else {
-		d.Size = newSize
-		tx := fs.log.Begin()
-		if err := fs.flushInode(tx, t); err != nil {
-			tx.Abort()
-			return err
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
 	}
-	return nil
+	d.Size = newSize
+	if err := fs.flushInodeLocked(tx, t); err != nil {
+		tx.Abort()
+		return tickets, err
+	}
+	tk, err := tx.Enqueue()
+	if err != nil {
+		return tickets, err
+	}
+	tickets = append(tickets, tk)
+	return tickets, nil
 }
 
 func maxU64(a, b uint64) uint64 {
@@ -212,45 +212,51 @@ func (fs *FS) AddChild(parent Ino, name string, child Ino) error {
 		return fmt.Errorf("inode: invalid child name %q", name)
 	}
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(parent); err != nil {
+	if err := fs.checkInoLocked(parent); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
-	if err := fs.checkIno(child); err != nil {
+	if err := fs.checkInoLocked(child); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	ents, err := fs.loadTreeLocked(parent)
 	if err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	for _, e := range ents {
 		if e.Name == name {
+			fs.mu.Unlock()
 			return fmt.Errorf("%w: %q under inode %d", ErrChildExists, name, parent)
 		}
 	}
 	ents = append(ents, Dirent{Name: name, Ino: child})
-	if err := fs.storeTreeLocked(parent, ents); err != nil {
-		return err
+	tickets, err := fs.storeTreeLocked(parent, ents)
+	if err != nil {
+		return fs.unlockWait(tickets, err)
 	}
 	fs.itab[child].Links++
 	tx := fs.log.Begin()
-	if err := fs.flushInode(tx, child); err != nil {
+	if err := fs.flushInodeLocked(tx, child); err != nil {
 		tx.Abort()
-		return err
+		return fs.unlockWait(tickets, err)
 	}
-	return tx.Commit()
+	tk, err := tx.Enqueue()
+	return fs.unlockWait(append(tickets, tk), err)
 }
 
 // RemoveChild unlinks the named child from parent. The child inode itself is
 // not freed; callers decide (FreeInode) once Links drops to zero.
 func (fs *FS) RemoveChild(parent Ino, name string) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkIno(parent); err != nil {
+	if err := fs.checkInoLocked(parent); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	ents, err := fs.loadTreeLocked(parent)
 	if err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	idx := -1
@@ -261,30 +267,33 @@ func (fs *FS) RemoveChild(parent Ino, name string) error {
 		}
 	}
 	if idx < 0 {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
 	}
 	child := ents[idx].Ino
 	ents = append(ents[:idx], ents[idx+1:]...)
-	if err := fs.storeTreeLocked(parent, ents); err != nil {
-		return err
+	tickets, err := fs.storeTreeLocked(parent, ents)
+	if err != nil {
+		return fs.unlockWait(tickets, err)
 	}
 	if uint64(child) < fs.sb.NInodes && fs.itab[child].Mode != ModeFree && fs.itab[child].Links > 0 {
 		fs.itab[child].Links--
 		tx := fs.log.Begin()
-		if err := fs.flushInode(tx, child); err != nil {
+		if err := fs.flushInodeLocked(tx, child); err != nil {
 			tx.Abort()
-			return err
+			return fs.unlockWait(tickets, err)
 		}
-		return tx.Commit()
+		tk, err := tx.Enqueue()
+		return fs.unlockWait(append(tickets, tk), err)
 	}
-	return nil
+	return fs.unlockWait(tickets, nil)
 }
 
 // Lookup resolves the named child of parent.
 func (fs *FS) Lookup(parent Ino, name string) (Ino, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if err := fs.checkIno(parent); err != nil {
+	if err := fs.checkInoLocked(parent); err != nil {
 		return 0, err
 	}
 	ents, err := fs.loadTreeLocked(parent)
@@ -303,7 +312,7 @@ func (fs *FS) Lookup(parent Ino, name string) (Ino, error) {
 func (fs *FS) Children(parent Ino) ([]Dirent, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if err := fs.checkIno(parent); err != nil {
+	if err := fs.checkInoLocked(parent); err != nil {
 		return nil, err
 	}
 	return fs.loadTreeLocked(parent)

@@ -122,12 +122,26 @@ type Store struct {
 	alerts   []*Alert
 	alertSeq uint64
 	invoked  uint64
+	// defaultWorkers is the executor pool size InvokeBatch falls back to
+	// when the caller passes workers <= 0; set by the kernel at boot.
+	defaultWorkers int
 }
 
 // New wires a Processing Store to its DED instance. acquire may be nil if
 // collection-on-invoke is not used.
 func New(d *ded.DED, log *audit.Log, acquire AcquireFunc) *Store {
 	return &Store{d: d, log: log, acquire: acquire, procs: make(map[string]*Processing)}
+}
+
+// SetDefaultWorkers sets the executor pool size used when InvokeBatch is
+// called with workers <= 0. Values below one reset to the serial default.
+func (s *Store) SetDefaultWorkers(workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	s.defaultWorkers = workers
 }
 
 // Register is ps_register. It validates the declaration, requires the
@@ -396,6 +410,14 @@ func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
 // successful run still passes the dynamic purpose check and counts toward
 // Invocations.
 func (s *Store) InvokeBatch(reqs []InvokeRequest, workers int) []ded.BatchItem {
+	if workers <= 0 {
+		s.mu.Lock()
+		workers = s.defaultWorkers
+		s.mu.Unlock()
+		if workers <= 0 {
+			workers = 1
+		}
+	}
 	out := make([]ded.BatchItem, len(reqs))
 	procs := make([]*Processing, len(reqs))
 	invs := make([]ded.Invocation, 0, len(reqs))

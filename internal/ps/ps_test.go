@@ -39,7 +39,7 @@ func newEnv(t *testing.T, acquire AcquireFunc) *env {
 	}
 	guard := lsm.NewGuard()
 	vault := cryptoshred.NewVault(auth.PublicKey())
-	store, err := dbfs.Create(fs, guard, vault, clock)
+	store, err := dbfs.Create([]*inode.FS{fs}, guard, vault, clock)
 	if err != nil {
 		t.Fatal(err)
 	}

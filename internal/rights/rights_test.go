@@ -50,7 +50,7 @@ func newRig(t *testing.T) *rig {
 	}
 	guard := lsm.NewGuard()
 	vault := cryptoshred.NewVault(auth.PublicKey())
-	store, err := dbfs.Create(fs, guard, vault, clock)
+	store, err := dbfs.Create([]*inode.FS{fs}, guard, vault, clock)
 	if err != nil {
 		t.Fatal(err)
 	}

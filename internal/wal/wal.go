@@ -1,5 +1,5 @@
 // Package wal implements a JBD-style physical write-ahead journal over a
-// block device region.
+// block device region, with ext3/JBD2-style group commit.
 //
 // Both filesystems in this reproduction use it: the traditional file-based
 // filesystem (internal/plainfs) journals raw block images, and DBFS journals
@@ -9,15 +9,28 @@
 // higher layer survives as block images inside the journal region. The
 // journal-leak experiment (DESIGN.md F2V1) scans this region for residues.
 //
-// On-disk format, one transaction:
+// On-disk format, one commit group of k transactions:
 //
-//	[descriptor block] [data block]... [commit block]
+//	[descriptor 1] [data]... [descriptor 2] [data]... ... [commit block]
 //
-// The descriptor lists the home locations of the data blocks that follow;
-// the commit block seals the transaction with a checksum. Recovery scans the
-// journal region, replays every transaction that has a valid commit block in
-// ascending transaction-id order, and ignores torn tails — the standard
-// redo-logging protocol.
+// Each descriptor lists the home locations of the data blocks that follow
+// it; the single commit block seals the whole group with the transaction
+// count, the id of the last transaction, and a checksum over every
+// descriptor and data block. A group written by an older single-transaction
+// journal is simply the k=1 case (its commit block carries a zero count,
+// which recovery reads as one). Recovery scans the journal region, replays
+// every transaction inside a group with a valid commit block in ascending
+// transaction-id order, and discards torn groups — the standard redo-logging
+// protocol, extended to multi-transaction commit records.
+//
+// Commit path: transactions are sealed by their callers, enqueued, and
+// coalesced by a committer goroutine that drains the queue in batches, logs
+// each batch with one commit marker and one flush barrier, checkpoints the
+// images home, and wakes every waiter. Concurrent committers therefore
+// share fsync cost instead of paying it per transaction. Until a
+// transaction's images are checkpointed they are visible through
+// ReadThrough, so callers that seal under a lock and wait outside it still
+// read their predecessors' writes.
 package wal
 
 import (
@@ -26,6 +39,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/blockdev"
 )
@@ -37,12 +51,16 @@ const (
 	blockTypeDescriptor uint32 = 1
 	blockTypeCommit     uint32 = 2
 
-	headerSize = 4 + 4 + 8 + 4 // magic, type, txid, ntags/reserved
+	headerSize = 4 + 4 + 8 + 4 // magic, type, txid, ntags/ntxns
 
 	// MaxBlocksPerTxn is the most home blocks a single transaction can
 	// carry: every tag is an 8-byte home block number and all tags must fit
 	// in one descriptor block.
 	MaxBlocksPerTxn = (blockdev.BlockSize - headerSize) / 8
+
+	// DefaultGroupBatch is the default bound on transactions per commit
+	// group. 1 disables batching (every transaction is its own group).
+	DefaultGroupBatch = 32
 )
 
 // Sentinel errors.
@@ -55,6 +73,14 @@ var (
 	ErrJournalFull = errors.New("wal: transaction larger than journal region")
 	// ErrBadRegion reports an invalid journal region.
 	ErrBadRegion = errors.New("wal: invalid journal region")
+	// ErrJournalAborted reports a commit attempted after a group flush
+	// failed. Once a flush fails the log refuses all further commits (the
+	// ext4 journal-abort discipline): later transactions may have staged
+	// against the failed group's never-durable images through the
+	// in-flight overlay, so persisting them could write metadata that
+	// references data the disk never received. Remount (Open + Recover)
+	// to continue on the surviving on-disk state.
+	ErrJournalAborted = errors.New("wal: journal aborted after flush failure")
 )
 
 // Stats counts journal activity.
@@ -62,20 +88,49 @@ type Stats struct {
 	TxnsCommitted uint64
 	BlocksLogged  uint64
 	TxnsReplayed  uint64
+	// GroupCommits counts commit groups flushed; TxnsCommitted /
+	// GroupCommits is the achieved batching factor.
+	GroupCommits uint64
+	// MaxGroupTxns is the largest group flushed so far.
+	MaxGroupTxns uint64
+}
+
+// pendingTxn is one sealed transaction waiting in the commit queue.
+type pendingTxn struct {
+	txid uint64
+	home []uint64
+	data [][]byte
+	done chan error
+}
+
+// inflightBlock is the newest enqueued-but-not-yet-checkpointed image of a
+// home block, plus how many queued transactions wrote it.
+type inflightBlock struct {
+	data []byte
+	refs int
 }
 
 // Log is a write-ahead journal occupying the device blocks
-// [start, start+length). It is safe for concurrent use; transactions are
-// serialized at commit time.
+// [start, start+length). It is safe for concurrent use; concurrent
+// transactions are coalesced into commit groups.
 type Log struct {
 	dev    blockdev.Device
 	start  uint64
 	length uint64
 
-	mu    sync.Mutex
-	head  uint64 // next journal-region block index to write (relative)
-	seq   uint64 // next transaction id
-	stats Stats
+	window   time.Duration
+	maxBatch int
+
+	mu         sync.Mutex
+	idle       sync.Cond // signaled when no transaction is queued or in flight
+	head       uint64    // next journal-region block index to write (relative)
+	seq        uint64    // next transaction id
+	stats      Stats
+	queue      []*pendingTxn
+	committing bool
+	pending    int   // enqueued transactions not yet signaled
+	aborted    error // first flush failure; non-nil = journal abort
+	inflight   map[uint64]*inflightBlock
 }
 
 // Open attaches a journal to the region [start, start+length) of dev. The
@@ -89,7 +144,31 @@ func Open(dev blockdev.Device, start, length uint64) (*Log, error) {
 		return nil, fmt.Errorf("%w: region [%d,%d) beyond device end %d",
 			ErrBadRegion, start, start+length, dev.NumBlocks())
 	}
-	return &Log{dev: dev, start: start, length: length, seq: 1}, nil
+	l := &Log{
+		dev:      dev,
+		start:    start,
+		length:   length,
+		seq:      1,
+		maxBatch: DefaultGroupBatch,
+		inflight: make(map[uint64]*inflightBlock),
+	}
+	l.idle.L = &l.mu
+	return l, nil
+}
+
+// Configure sets the group-commit parameters: window is how long a freshly
+// woken committer waits for more transactions to arrive before draining the
+// queue (0 = drain immediately, batching only what queued during the
+// previous flush); maxBatch bounds transactions per group (<= 0 restores
+// DefaultGroupBatch, 1 disables batching). Call before concurrent use.
+func (l *Log) Configure(window time.Duration, maxBatch int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if maxBatch <= 0 {
+		maxBatch = DefaultGroupBatch
+	}
+	l.window = window
+	l.maxBatch = maxBatch
 }
 
 // Stats returns a snapshot of the journal counters.
@@ -103,6 +182,34 @@ func (l *Log) Stats() Stats {
 // experiments can attribute residue hits to the journal area.
 func (l *Log) Region() (start, length uint64) {
 	return l.start, l.length
+}
+
+// ReadThrough reads block n, preferring the image of the newest enqueued
+// transaction that wrote it over the device contents. Callers that stage
+// transactions under an external lock but wait for durability outside it
+// must read through this overlay, or they would miss the writes of
+// predecessors whose groups have not checkpointed yet.
+func (l *Log) ReadThrough(n uint64, buf []byte) error {
+	l.mu.Lock()
+	if e, ok := l.inflight[n]; ok {
+		copy(buf, e.data)
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	return l.dev.ReadBlock(n, buf)
+}
+
+// Barrier blocks until every enqueued transaction has been flushed and
+// checkpointed (or failed). Callers that bypass the journal on purpose —
+// the secure-free zero pass writes home locations directly — barrier first
+// so no queued checkpoint can resurrect the bytes they scrub.
+func (l *Log) Barrier() {
+	l.mu.Lock()
+	for l.pending > 0 {
+		l.idle.Wait()
+	}
+	l.mu.Unlock()
 }
 
 // Txn is a pending transaction: a buffered set of whole-block writes that
@@ -167,84 +274,238 @@ func (t *Txn) Abort() {
 	t.home, t.data = nil, nil
 }
 
-// Commit makes the transaction durable: it appends descriptor, data images,
-// and a commit block to the journal, syncs, then checkpoints the images to
-// their home locations and syncs again. An empty transaction commits as a
-// no-op.
-func (t *Txn) Commit() error {
+// Ticket is a claim on an enqueued transaction's durability.
+type Ticket struct {
+	p *pendingTxn
+}
+
+// Wait blocks until the ticket's transaction has been flushed as part of a
+// commit group and checkpointed home, returning the group's outcome.
+func (tk *Ticket) Wait() error {
+	return <-tk.p.done
+}
+
+// Enqueue seals the transaction and hands it to the committer. It returns a
+// Ticket to wait on (nil for an empty transaction, which needs no IO). The
+// transaction's images become visible through ReadThrough immediately, so a
+// caller staging under a lock may enqueue, release the lock, and Wait — the
+// next transaction staged under that lock reads its predecessor's writes.
+func (t *Txn) Enqueue() (*Ticket, error) {
 	if t.done {
-		return ErrTxnDone
+		return nil, ErrTxnDone
 	}
 	t.done = true
 	if len(t.home) == 0 {
-		return nil
+		return nil, nil
 	}
 	l := t.log
-	l.mu.Lock()
-	defer l.mu.Unlock()
-
 	needed := uint64(len(t.home) + 2) // descriptor + data + commit
 	if needed > l.length {
-		return fmt.Errorf("%w: txn needs %d blocks, journal has %d", ErrJournalFull, needed, l.length)
+		return nil, fmt.Errorf("%w: txn needs %d blocks, journal has %d", ErrJournalFull, needed, l.length)
 	}
-	// Transactions never wrap: if the tail cannot hold this transaction,
-	// start again from the beginning of the region. Recovery rescans the
-	// whole region, so stale tail blocks are harmless.
-	if l.head+needed > l.length {
-		l.head = 0
+	p := &pendingTxn{home: t.home, data: t.data, done: make(chan error, 1)}
+
+	l.mu.Lock()
+	if l.aborted != nil {
+		cause := l.aborted
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w (cause: %v)", ErrJournalAborted, cause)
 	}
-	txid := l.seq
+	p.txid = l.seq
 	l.seq++
-
-	// Descriptor block.
-	desc := make([]byte, blockdev.BlockSize)
-	binary.LittleEndian.PutUint32(desc[0:], magic)
-	binary.LittleEndian.PutUint32(desc[4:], blockTypeDescriptor)
-	binary.LittleEndian.PutUint64(desc[8:], txid)
-	binary.LittleEndian.PutUint32(desc[16:], uint32(len(t.home)))
-	for i, h := range t.home {
-		binary.LittleEndian.PutUint64(desc[headerSize+8*i:], h)
-	}
-	if err := l.dev.WriteBlock(l.start+l.head, desc); err != nil {
-		return fmt.Errorf("wal: write descriptor: %w", err)
-	}
-
-	// Data images + running checksum.
-	sum := fnv.New64a()
-	_, _ = sum.Write(desc)
-	for i, img := range t.data {
-		if err := l.dev.WriteBlock(l.start+l.head+1+uint64(i), img); err != nil {
-			return fmt.Errorf("wal: write journal data: %w", err)
+	l.queue = append(l.queue, p)
+	l.pending++
+	for i, h := range p.home {
+		if e, ok := l.inflight[h]; ok {
+			e.data = p.data[i]
+			e.refs++
+		} else {
+			l.inflight[h] = &inflightBlock{data: p.data[i], refs: 1}
 		}
-		_, _ = sum.Write(img)
 	}
+	if !l.committing {
+		l.committing = true
+		go l.committer()
+	}
+	l.mu.Unlock()
+	return &Ticket{p: p}, nil
+}
 
-	// Commit block.
+// Commit makes the transaction durable: it enqueues the transaction and
+// waits for its commit group to be logged, flushed, and checkpointed. An
+// empty transaction commits as a no-op.
+func (t *Txn) Commit() error {
+	tk, err := t.Enqueue()
+	if err != nil || tk == nil {
+		return err
+	}
+	return tk.Wait()
+}
+
+// takeBatchLocked pops the next commit group off the queue: up to maxBatch
+// transactions whose descriptors, data and shared commit block fit the
+// journal region together. It returns the group and its block count.
+func (l *Log) takeBatchLocked() ([]*pendingTxn, uint64) {
+	needed := uint64(1) // shared commit block
+	var batch []*pendingTxn
+	for len(l.queue) > 0 && len(batch) < l.maxBatch {
+		p := l.queue[0]
+		pn := uint64(len(p.home)) + 1 // descriptor + data
+		if len(batch) > 0 && needed+pn > l.length {
+			break
+		}
+		batch = append(batch, p)
+		needed += pn
+		l.queue[0] = nil // drop the backing-array reference to the images
+		l.queue = l.queue[1:]
+	}
+	return batch, needed
+}
+
+// committer drains the commit queue in groups until it is empty, then
+// exits; the next Enqueue starts a fresh one. Only one committer runs at a
+// time, so groups are logged and checkpointed strictly in queue order.
+func (l *Log) committer() {
+	if l.window > 0 {
+		time.Sleep(l.window)
+	}
+	for {
+		l.mu.Lock()
+		batch, needed := l.takeBatchLocked()
+		if len(batch) == 0 {
+			l.committing = false
+			l.mu.Unlock()
+			return
+		}
+		var err error
+		if aborted := l.aborted; aborted != nil {
+			// Journal abort: later groups may depend (via the overlay) on
+			// the failed group's images — fail them instead of flushing.
+			l.mu.Unlock()
+			err = fmt.Errorf("%w (cause: %v)", ErrJournalAborted, aborted)
+		} else {
+			// Groups never wrap: if the tail cannot hold this group, start
+			// again from the beginning of the region. The previous group is
+			// already checkpointed (the committer is sequential), so
+			// overwriting old journal blocks is harmless; recovery rescans
+			// the whole region.
+			if l.head+needed > l.length {
+				l.head = 0
+			}
+			groupStart := l.start + l.head
+			l.head += needed
+			l.mu.Unlock()
+
+			// Device IO happens outside l.mu so new transactions keep
+			// enqueueing (and reading through the overlay) during the
+			// flush — that overlap is where the batching comes from.
+			err = l.flushGroup(groupStart, batch)
+		}
+
+		l.mu.Lock()
+		if err != nil && l.aborted == nil {
+			l.aborted = err
+		}
+		if err == nil {
+			l.stats.GroupCommits++
+			if uint64(len(batch)) > l.stats.MaxGroupTxns {
+				l.stats.MaxGroupTxns = uint64(len(batch))
+			}
+			for _, p := range batch {
+				l.stats.TxnsCommitted++
+				l.stats.BlocksLogged += uint64(len(p.home))
+			}
+		}
+		for _, p := range batch {
+			for _, h := range p.home {
+				if e, ok := l.inflight[h]; ok {
+					e.refs--
+					if e.refs == 0 {
+						delete(l.inflight, h)
+					}
+				}
+			}
+		}
+		l.pending -= len(batch)
+		if l.pending == 0 {
+			l.idle.Broadcast()
+		}
+		l.mu.Unlock()
+		for _, p := range batch {
+			p.done <- err
+		}
+	}
+}
+
+// flushGroup logs one commit group at groupStart (absolute device block):
+// per-transaction descriptors and data images, one shared commit block, one
+// flush barrier; then checkpoints every image home and flushes again. Both
+// write passes are submitted as vectors so devices (and the IO-driver bus)
+// charge them as batches.
+func (l *Log) flushGroup(groupStart uint64, batch []*pendingTxn) error {
+	var (
+		nblocks = 1
+		sum     = fnv.New64a()
+	)
+	for _, p := range batch {
+		nblocks += len(p.home) + 1
+	}
+	ns := make([]uint64, 0, nblocks)
+	imgs := make([][]byte, 0, nblocks)
+	blk := groupStart
+	for _, p := range batch {
+		desc := make([]byte, blockdev.BlockSize)
+		binary.LittleEndian.PutUint32(desc[0:], magic)
+		binary.LittleEndian.PutUint32(desc[4:], blockTypeDescriptor)
+		binary.LittleEndian.PutUint64(desc[8:], p.txid)
+		binary.LittleEndian.PutUint32(desc[16:], uint32(len(p.home)))
+		for i, h := range p.home {
+			binary.LittleEndian.PutUint64(desc[headerSize+8*i:], h)
+		}
+		_, _ = sum.Write(desc)
+		ns = append(ns, blk)
+		imgs = append(imgs, desc)
+		blk++
+		for _, img := range p.data {
+			_, _ = sum.Write(img)
+			ns = append(ns, blk)
+			imgs = append(imgs, img)
+			blk++
+		}
+	}
 	com := make([]byte, blockdev.BlockSize)
 	binary.LittleEndian.PutUint32(com[0:], magic)
 	binary.LittleEndian.PutUint32(com[4:], blockTypeCommit)
-	binary.LittleEndian.PutUint64(com[8:], txid)
+	binary.LittleEndian.PutUint64(com[8:], batch[len(batch)-1].txid)
 	binary.LittleEndian.PutUint64(com[16:], sum.Sum64())
-	if err := l.dev.WriteBlock(l.start+l.head+1+uint64(len(t.home)), com); err != nil {
-		return fmt.Errorf("wal: write commit: %w", err)
+	binary.LittleEndian.PutUint32(com[24:], uint32(len(batch)))
+	ns = append(ns, blk)
+	imgs = append(imgs, com)
+
+	if err := blockdev.WriteBlocks(l.dev, ns, imgs); err != nil {
+		return fmt.Errorf("wal: write commit group: %w", err)
 	}
 	if err := l.dev.Sync(); err != nil {
 		return fmt.Errorf("wal: sync journal: %w", err)
 	}
 
-	// Checkpoint: apply images to home locations.
-	for i, h := range t.home {
-		if err := l.dev.WriteBlock(h, t.data[i]); err != nil {
-			return fmt.Errorf("wal: checkpoint block %d: %w", h, err)
+	// Checkpoint: apply images to home locations in transaction order, so
+	// a block written by two transactions in the group ends at the later
+	// image — the same winner replay would pick.
+	hns := ns[:0]
+	himgs := imgs[:0]
+	for _, p := range batch {
+		for i, h := range p.home {
+			hns = append(hns, h)
+			himgs = append(himgs, p.data[i])
 		}
+	}
+	if err := blockdev.WriteBlocks(l.dev, hns, himgs); err != nil {
+		return fmt.Errorf("wal: checkpoint group: %w", err)
 	}
 	if err := l.dev.Sync(); err != nil {
 		return fmt.Errorf("wal: sync checkpoint: %w", err)
 	}
-
-	l.head += needed
-	l.stats.TxnsCommitted++
-	l.stats.BlocksLogged += uint64(len(t.home))
 	return nil
 }
 
@@ -255,10 +516,74 @@ type replayTxn struct {
 	data [][]byte
 }
 
-// Recover scans the journal region, validates transactions, and replays the
-// committed ones in ascending transaction-id order. It returns the number of
-// transactions replayed. Torn transactions (missing or corrupt commit
-// blocks) are skipped, which is the crash-consistency contract.
+// scanGroup parses one commit group starting at the descriptor at relative
+// block i. It returns the group's transactions and its end offset, or
+// ok=false if the group is torn (no valid commit block sealing exactly the
+// parsed segments).
+func (l *Log) scanGroup(i uint64) (segs []replayTxn, end uint64, ok bool) {
+	sum := fnv.New64a()
+	buf := make([]byte, blockdev.BlockSize)
+	j := i
+	for {
+		if j >= l.length {
+			return nil, 0, false
+		}
+		if err := l.dev.ReadBlock(l.start+j, buf); err != nil {
+			return nil, 0, false
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) == magic &&
+			binary.LittleEndian.Uint32(buf[4:]) == blockTypeCommit {
+			// End of group: the commit block must seal exactly the
+			// segments parsed, carry the last segment's txid, and match
+			// the running checksum. A zero transaction count is the
+			// legacy single-transaction format.
+			if len(segs) == 0 {
+				return nil, 0, false
+			}
+			ntxns := binary.LittleEndian.Uint32(buf[24:])
+			if ntxns == 0 {
+				ntxns = 1
+			}
+			if int(ntxns) != len(segs) ||
+				binary.LittleEndian.Uint64(buf[8:]) != segs[len(segs)-1].txid ||
+				binary.LittleEndian.Uint64(buf[16:]) != sum.Sum64() {
+				return nil, 0, false
+			}
+			return segs, j + 1, true
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != magic ||
+			binary.LittleEndian.Uint32(buf[4:]) != blockTypeDescriptor {
+			return nil, 0, false
+		}
+		txid := binary.LittleEndian.Uint64(buf[8:])
+		ntags := binary.LittleEndian.Uint32(buf[16:])
+		if ntags == 0 || ntags > uint32(MaxBlocksPerTxn) || j+uint64(ntags)+2 > l.length {
+			return nil, 0, false
+		}
+		_, _ = sum.Write(buf)
+		home := make([]uint64, ntags)
+		for k := uint32(0); k < ntags; k++ {
+			home[k] = binary.LittleEndian.Uint64(buf[headerSize+8*k:])
+		}
+		data := make([][]byte, 0, ntags)
+		for k := uint32(0); k < ntags; k++ {
+			img := make([]byte, blockdev.BlockSize)
+			if err := l.dev.ReadBlock(l.start+j+1+uint64(k), img); err != nil {
+				return nil, 0, false
+			}
+			_, _ = sum.Write(img)
+			data = append(data, img)
+		}
+		segs = append(segs, replayTxn{txid: txid, home: home, data: data})
+		j += uint64(ntags) + 1
+	}
+}
+
+// Recover scans the journal region, validates commit groups, and replays
+// every transaction of every sealed group in ascending transaction-id
+// order. It returns the number of transactions replayed. Torn groups
+// (missing or corrupt commit blocks, including a group cut mid-write) are
+// discarded whole, which is the crash-consistency contract.
 func (l *Log) Recover() (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -278,52 +603,20 @@ func (l *Log) Recover() (int, error) {
 			i++
 			continue
 		}
-		txid := binary.LittleEndian.Uint64(buf[8:])
-		ntags := binary.LittleEndian.Uint32(buf[16:])
-		if ntags == 0 || ntags > uint32(MaxBlocksPerTxn) || i+uint64(ntags)+2 > l.length {
-			i++
-			continue
-		}
-		home := make([]uint64, ntags)
-		for j := uint32(0); j < ntags; j++ {
-			home[j] = binary.LittleEndian.Uint64(buf[headerSize+8*j:])
-		}
-		sum := fnv.New64a()
-		_, _ = sum.Write(buf)
-		data := make([][]byte, 0, ntags)
-		ok := true
-		for j := uint32(0); j < ntags; j++ {
-			img := make([]byte, blockdev.BlockSize)
-			if err := l.dev.ReadBlock(l.start+i+1+uint64(j), img); err != nil {
-				ok = false
-				break
-			}
-			_, _ = sum.Write(img)
-			data = append(data, img)
-		}
+		segs, end, ok := l.scanGroup(i)
 		if !ok {
+			// Torn group: skip just the first descriptor so a later
+			// group at an odd offset can still be found.
 			i++
 			continue
 		}
-		com := make([]byte, blockdev.BlockSize)
-		if err := l.dev.ReadBlock(l.start+i+1+uint64(ntags), com); err != nil {
-			i++
-			continue
+		for _, tx := range segs {
+			txns = append(txns, tx)
+			if tx.txid > maxTxid {
+				maxTxid = tx.txid
+			}
 		}
-		if binary.LittleEndian.Uint32(com[0:]) != magic ||
-			binary.LittleEndian.Uint32(com[4:]) != blockTypeCommit ||
-			binary.LittleEndian.Uint64(com[8:]) != txid ||
-			binary.LittleEndian.Uint64(com[16:]) != sum.Sum64() {
-			// Torn transaction: no valid commit. Skip just the descriptor so
-			// a later descriptor at an odd offset can still be found.
-			i++
-			continue
-		}
-		txns = append(txns, replayTxn{txid: txid, home: home, data: data})
-		if txid > maxTxid {
-			maxTxid = txid
-		}
-		i += uint64(ntags) + 2
+		i = end
 	}
 
 	// Replay in ascending txid order so later images win.
