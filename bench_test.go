@@ -635,3 +635,99 @@ func BenchmarkInvokeBatch(b *testing.B) {
 		})
 	}
 }
+
+// --- SC3: membrane cache x parallel rights ---
+
+// BenchmarkMembraneRead measures the DED's ded_load_membrane primitive —
+// dbfs.GetMembrane — with the decoded-membrane cache on vs off. The PD disk
+// sleeps its per-block read cost, so the inode walk and device reads the
+// cache removes are wall-clock visible on top of the skipped JSON decode
+// (see internal/bench.runSC3 for the full contention sweep).
+func BenchmarkMembraneRead(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		cache int
+	}{
+		{"cache", 0},
+		{"nocache", -1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, err := core.Boot(core.Options{
+				AuthorityBits: 1024, PDDiskBlocks: 1 << 15, NInodes: 1 << 13,
+				MembraneCache: cfg.cache,
+				PDLatency:     blockdev.LatencyModel{ReadCost: 10 * time.Microsecond, Sleep: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+				b.Fatal(err)
+			}
+			tok := s.DEDToken()
+			rng := xrand.New(9)
+			const n = 64
+			pdids := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				subject := "ms" + strconv.Itoa(i%16)
+				pdid, err := s.DBFS().Insert(tok, "user", subject, workload.UserRecord(rng, subject), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pdids = append(pdids, pdid)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pdid := pdids[i%len(pdids)]
+				m, err := s.DBFS().GetMembrane(tok, pdid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.PDID != pdid {
+					b.Fatalf("got membrane of %s", m.PDID)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccessBatch sweeps the rights engine's per-subject fan-out:
+// subject-access reports for 16 subjects at 1 vs 8 workers over 8 per-shard
+// FS instances (reads sleep, so the overlap is wall-clock visible).
+func BenchmarkAccessBatch(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			s, err := core.Boot(core.Options{
+				AuthorityBits: 1024, PDDiskBlocks: 1 << 16, NInodes: 1 << 14,
+				FSInstances: 8, Workers: 8,
+				PDLatency: blockdev.LatencyModel{ReadCost: 10 * time.Microsecond, Sleep: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+				b.Fatal(err)
+			}
+			tok := s.DEDToken()
+			rng := xrand.New(11)
+			subjects := workload.SubjectIDs(16)
+			for _, subject := range subjects {
+				for j := 0; j < 4; j++ {
+					if _, err := s.DBFS().Insert(tok, "user", subject, workload.UserRecord(rng, subject), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			s.Rights().SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reps, err := s.Rights().AccessBatch(subjects)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reps) != len(subjects) {
+					b.Fatalf("got %d reports", len(reps))
+				}
+			}
+		})
+	}
+}

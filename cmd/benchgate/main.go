@@ -1,17 +1,23 @@
-// Command benchgate is the CI bench-regression gate: it compares a freshly
-// generated BENCH_SC2.json against the checked-in BENCH_baseline.json and
-// fails (exit 1) when the measured group-commit + per-shard-FS speedup has
+// Command benchgate is the CI bench-regression gate: it compares the
+// freshly generated BENCH_<ID>.json result files against the checked-in
+// BENCH_baseline.json and fails (exit 1) when a gated summary metric has
 // regressed by more than the allowed fraction.
 //
-// The baseline's best_speedup is a conservative floor (not one machine's
-// maximum), so the gate is portable across runners with different sleep
-// granularity: what it protects is the refactor's headline property —
-// concurrent insert throughput well above the single-journal,
-// one-transaction-per-flush PR-1 configuration.
+// The baseline (schema 2) holds one entry per gated experiment under
+// "experiments"; each entry's summary metrics are conservative floors (not
+// one machine's maximum), so the gate is portable across runners with
+// different sleep granularity. What it protects are the headline scaling
+// properties: SC2's group-commit + per-shard-FS insert speedup, and SC3's
+// membrane-cache read speedup plus the parallel rights-engine scaling.
+//
+// A baseline entry with no generated result — or a generated result with no
+// baseline entry — is a configuration error (exit 2) named after the
+// experiment, never a silent skip: a gate that quietly stops comparing is a
+// gate that quietly stops gating.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_baseline.json -current out/BENCH_SC2.json [-max-regress 0.20]
+//	benchgate -baseline BENCH_baseline.json -results bench-out [-max-regress 0.20]
 package main
 
 import (
@@ -19,49 +25,161 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/bench"
 )
 
-func load(path string) (*bench.SC2Report, error) {
+// baselineFile is the schema-2 layout of BENCH_baseline.json.
+type baselineFile struct {
+	Schema      int                        `json:"schema"`
+	Comment     string                     `json:"comment,omitempty"`
+	Experiments map[string]json.RawMessage `json:"experiments"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// checkFloor compares one summary metric against its baseline floor and
+// returns false (after printing the failure) on regression. A baseline
+// metric of zero means the field is absent or mistyped in the baseline —
+// that would make the floor 0 and the gate a silent no-op, so it is a
+// configuration error, not a pass.
+func checkFloor(exp, metric string, base, cur, maxRegress float64) bool {
+	if base <= 0 {
+		fatalf("experiment %s: baseline summary metric %q is %.2f — absent or mistyped in the baseline, which would disable the gate",
+			exp, metric, base)
+	}
+	floor := base * (1 - maxRegress)
+	fmt.Printf("benchgate: %s %-24s baseline=%.2fx current=%.2fx floor=%.2fx\n",
+		exp, metric, base, cur, floor)
+	if cur < floor {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s regressed more than %.0f%% (%.2fx < %.2fx)\n",
+			exp, metric, maxRegress*100, cur, floor)
+		return false
+	}
+	return true
+}
+
+// gateSC2 compares the SC2 storage-stack speedup.
+func gateSC2(baseRaw json.RawMessage, curPath string, maxRegress float64) bool {
+	var base, cur bench.SC2Report
+	decodeReport(baseRaw, "baseline", "SC2", &base)
+	decodeFile(curPath, "SC2", &cur)
+	if base.Experiment != "SC2" || len(base.Rows) == 0 || cur.Experiment != "SC2" || len(cur.Rows) == 0 {
+		fatalf("experiment SC2: malformed report (baseline or %s)", curPath)
+	}
+	return checkFloor("SC2", "best_speedup", base.Summary.BestSpeedup, cur.Summary.BestSpeedup, maxRegress)
+}
+
+// gateSC3 compares the read-path speedups: the membrane-cache ablation and
+// the parallel rights-engine scaling.
+func gateSC3(baseRaw json.RawMessage, curPath string, maxRegress float64) bool {
+	var base, cur bench.SC3Report
+	decodeReport(baseRaw, "baseline", "SC3", &base)
+	decodeFile(curPath, "SC3", &cur)
+	if base.Experiment != "SC3" || len(base.Rows) == 0 || cur.Experiment != "SC3" || len(cur.Rows) == 0 {
+		fatalf("experiment SC3: malformed report (baseline or %s)", curPath)
+	}
+	ok := true
+	ok = checkFloor("SC3", "cache_speedup_disjoint", base.Summary.CacheSpeedupDisjoint, cur.Summary.CacheSpeedupDisjoint, maxRegress) && ok
+	ok = checkFloor("SC3", "cache_speedup_overlap", base.Summary.CacheSpeedupOverlap, cur.Summary.CacheSpeedupOverlap, maxRegress) && ok
+	ok = checkFloor("SC3", "access_speedup", base.Summary.AccessSpeedup, cur.Summary.AccessSpeedup, maxRegress) && ok
+	ok = checkFloor("SC3", "sweep_speedup", base.Summary.SweepSpeedup, cur.Summary.SweepSpeedup, maxRegress) && ok
+	return ok
+}
+
+func decodeReport(raw json.RawMessage, src, exp string, v any) {
+	if err := json.Unmarshal(raw, v); err != nil {
+		fatalf("experiment %s: decode %s entry: %v", exp, src, err)
+	}
+}
+
+func decodeFile(path, exp string, v any) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		fatalf("experiment %s: %v", exp, err)
 	}
-	var r bench.SC2Report
-	if err := json.Unmarshal(raw, &r); err != nil {
-		return nil, fmt.Errorf("decode %s: %w", path, err)
+	if err := json.Unmarshal(raw, v); err != nil {
+		fatalf("experiment %s: decode %s: %v", exp, path, err)
 	}
-	if r.Experiment != "SC2" || len(r.Rows) == 0 {
-		return nil, fmt.Errorf("%s: not an SC2 report", path)
-	}
-	return &r, nil
+}
+
+// gates maps experiment id to its comparison; adding a gated experiment
+// means adding a row here AND an entry to BENCH_baseline.json.
+var gates = map[string]func(json.RawMessage, string, float64) bool{
+	"SC2": gateSC2,
+	"SC3": gateSC3,
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
-		currentPath  = flag.String("current", "BENCH_SC2.json", "freshly generated report")
-		maxRegress   = flag.Float64("max-regress", 0.20, "allowed fractional regression of best_speedup")
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file (schema 2)")
+		resultsDir   = flag.String("results", "bench-out", "directory holding freshly generated BENCH_<ID>.json files")
+		maxRegress   = flag.Float64("max-regress", 0.20, "allowed fractional regression of each gated summary metric")
 	)
 	flag.Parse()
 
-	base, err := load(*baselinePath)
+	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
-	cur, err := load(*currentPath)
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("decode %s: %v", *baselinePath, err)
+	}
+	if base.Schema != 2 || len(base.Experiments) == 0 {
+		fatalf("%s: unsupported baseline schema %d (want 2 with an \"experiments\" map — regenerate it)",
+			*baselinePath, base.Schema)
+	}
+
+	// Enumerate the generated results.
+	entries, err := os.ReadDir(*resultsDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
-	floor := base.Summary.BestSpeedup * (1 - *maxRegress)
-	fmt.Printf("benchgate: baseline best_speedup=%.2fx (%s), current best_speedup=%.2fx (%s), floor=%.2fx\n",
-		base.Summary.BestSpeedup, base.Summary.BestConfig,
-		cur.Summary.BestSpeedup, cur.Summary.BestConfig, floor)
-	if cur.Summary.BestSpeedup < floor {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — concurrent insert speedup regressed more than %.0f%%\n", *maxRegress*100)
+	currents := make(map[string]string)
+	for _, e := range entries {
+		name := e.Name()
+		if id, ok := strings.CutPrefix(name, "BENCH_"); ok && strings.HasSuffix(id, ".json") {
+			currents[strings.TrimSuffix(id, ".json")] = filepath.Join(*resultsDir, name)
+		}
+	}
+
+	// Every baseline entry must have a generated result, a registered gate,
+	// and vice versa — name the experiment on any mismatch.
+	baseIDs := make([]string, 0, len(base.Experiments))
+	for id := range base.Experiments {
+		baseIDs = append(baseIDs, id)
+	}
+	sort.Strings(baseIDs)
+	for _, id := range baseIDs {
+		if _, ok := gates[id]; !ok {
+			fatalf("experiment %s: baseline entry has no registered gate (known: SC2, SC3)", id)
+		}
+		if _, ok := currents[id]; !ok {
+			fatalf("experiment %s: baseline entry present but %s was not generated — run `go run ./cmd/benchfig -exp %s -small -jsondir %s`",
+				id, filepath.Join(*resultsDir, "BENCH_"+id+".json"), id, *resultsDir)
+		}
+	}
+	curIDs := make([]string, 0, len(currents))
+	for id := range currents {
+		curIDs = append(curIDs, id)
+	}
+	sort.Strings(curIDs)
+	ok := true
+	for _, id := range curIDs {
+		if _, inBase := base.Experiments[id]; !inBase {
+			fatalf("experiment %s: %s generated but %s has no entry for it — append the experiment to the baseline",
+				id, currents[id], *baselinePath)
+		}
+		ok = gates[id](base.Experiments[id], currents[id], *maxRegress) && ok
+	}
+	if !ok {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")

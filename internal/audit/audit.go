@@ -193,6 +193,29 @@ func (l *Log) ByPD(pdid string) []Entry {
 	return out
 }
 
+// ByPDs is the bulk form of ByPD: one lock acquisition answers the history
+// query for a whole candidate list (the right-of-access report asks for
+// every record of a subject at once — rescanning the log lock per record is
+// the hot part of that loop). Only pdids with at least one entry appear in
+// the result; duplicate pdids resolve to the same slice contents.
+func (l *Log) ByPDs(pdids []string) map[string][]Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string][]Entry, len(pdids))
+	for _, pdid := range pdids {
+		idxs := l.byPD[pdid]
+		if len(idxs) == 0 {
+			continue
+		}
+		es := make([]Entry, 0, len(idxs))
+		for _, i := range idxs {
+			es = append(es, l.entries[i])
+		}
+		out[pdid] = es
+	}
+	return out
+}
+
 // Verify walks the hash chain and returns ErrChainBroken (with position
 // detail) if any entry was altered or reordered.
 func (l *Log) Verify() error {

@@ -145,3 +145,34 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestByPDsBulk(t *testing.T) {
+	l := NewLog(simclock.NewSim(simclock.Epoch))
+	pdids := []string{"user/a/1", "user/a/2", "user/b/1"}
+	for round := 0; round < 3; round++ {
+		for _, pdid := range pdids {
+			l.Append(KindProcessing, "p", pdid, "subj", "ok", "r")
+		}
+	}
+	l.Append(KindExport, "", "", "subj", "ok", "no pdid") // indexed by subject only
+
+	got := l.ByPDs([]string{"user/a/1", "user/b/1", "user/ghost/9", "user/a/1"})
+	if len(got) != 2 {
+		t.Fatalf("ByPDs returned %d keys, want 2: %v", len(got), got)
+	}
+	for _, pdid := range []string{"user/a/1", "user/b/1"} {
+		want := l.ByPD(pdid)
+		bulk := got[pdid]
+		if len(bulk) != len(want) {
+			t.Fatalf("%s: bulk %d entries, ByPD %d", pdid, len(bulk), len(want))
+		}
+		for i := range want {
+			if bulk[i].Hash != want[i].Hash {
+				t.Fatalf("%s entry %d diverged from ByPD", pdid, i)
+			}
+		}
+	}
+	if _, ok := got["user/ghost/9"]; ok {
+		t.Fatal("ByPDs invented entries for an unknown pdid")
+	}
+}

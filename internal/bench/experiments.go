@@ -926,3 +926,291 @@ func runSC2(w io.Writer, p Params) error {
 	fmt.Fprintln(w, "  remaining flushes; combined >=2x the PR-1 baseline at 8 workers")
 	return writeJSON(p, "SC2", &report)
 }
+
+// --- SC3: read-path scaling — membrane cache x parallel rights sweeps ---
+
+// SC3Row is one configuration's measurement in the SC3 sweep, serialized
+// into BENCH_SC3.json for the CI regression gate.
+type SC3Row struct {
+	Config string `json:"config"`
+	// Mode is "readloop" (raw concurrent GetMembrane load), "access"
+	// (subject-access reports) or "sweep" (TTL sweeper).
+	Mode    string `json:"mode"`
+	Cache   bool   `json:"cache"`
+	Overlap bool   `json:"overlap,omitempty"`
+	Workers int    `json:"workers"`
+	Ops     int    `json:"ops"`
+	WallUS  int64  `json:"wall_us"`
+	// OpsPerSec is membrane reads/s (readloop), reports/s (access) or
+	// deletions/s (sweep).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is relative to the mode's baseline row (cache off for
+	// readloop, one worker for access/sweep).
+	Speedup      float64 `json:"speedup"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// SC3Report is the BENCH_SC3.json schema.
+type SC3Report struct {
+	Experiment string `json:"experiment"`
+	Schema     int    `json:"schema"`
+	// Comment carries provenance notes (the checked-in baseline explains
+	// that its summary is a conservative cross-machine floor).
+	Comment  string   `json:"comment,omitempty"`
+	Workers  int      `json:"workers"`
+	Subjects int      `json:"subjects"`
+	Rows     []SC3Row `json:"rows"`
+	Summary  struct {
+		// CacheSpeedup* compare cache on vs off on the same readloop shape.
+		CacheSpeedupDisjoint float64 `json:"cache_speedup_disjoint"`
+		CacheSpeedupOverlap  float64 `json:"cache_speedup_overlap"`
+		// AccessSpeedup / SweepSpeedup compare the parallel rights engine
+		// at the full worker pool vs one worker.
+		AccessSpeedup float64 `json:"access_speedup"`
+		SweepSpeedup  float64 `json:"sweep_speedup"`
+	} `json:"summary"`
+}
+
+// runSC3 measures this PR's read-path work. Phase one is a membrane-read
+// contention sweep: a fixed worker pool hammers GetMembrane over disjoint
+// vs overlapping record batches, with the decoded-membrane cache enabled vs
+// disabled. The PD disk sleeps its per-block read cost, so what the cache
+// removes — the inode walk and device reads behind every membrane fetch,
+// all serialized behind one filesystem lock — is wall-clock visible, on top
+// of the JSON decode it also skips. Every fetched membrane is identity-
+// checked, so the cached and uncached runs demonstrably serve the same
+// answers. Phase two measures the parallel rights engine on the now-cheap
+// read path: subject-access reports and the TTL sweeper at 1 worker vs the
+// full pool, on a machine whose per-shard FS instances (SC2) let the
+// per-record device time actually overlap.
+func runSC3(w io.Writer, p Params) error {
+	n := p.subjects(48, 12)
+	const perSubject = 4
+	const workers = 8
+	reads := p.ops(2048, 768)
+	lat := blockdev.DefaultLatency()
+	lat.Sleep = true
+
+	// seed boots a machine with n subjects x perSubject records inserted
+	// directly through DBFS (membranes default from the Listing 1 schema:
+	// TTL 1Y, purpose1/3 consented).
+	seed := func(cache, fsInstances int) (*core.System, []string, []string, error) {
+		opts := bootOpts(n * perSubject)
+		opts.MembraneCache = cache
+		opts.FSInstances = fsInstances
+		opts.Workers = workers
+		opts.PDLatency = lat
+		sys, err := core.Boot(opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := sys.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+			return nil, nil, nil, err
+		}
+		rng := xrand.New(p.Seed + 31)
+		subjects := workload.SubjectIDs(n)
+		tok := sys.DEDToken()
+		pdids := make([]string, 0, n*perSubject)
+		for _, subject := range subjects {
+			for k := 0; k < perSubject; k++ {
+				pdid, err := sys.DBFS().Insert(tok, "user", subject, workload.UserRecord(rng, subject), nil)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				pdids = append(pdids, pdid)
+			}
+		}
+		return sys, subjects, pdids, nil
+	}
+
+	// runRead drives the read loop: each worker issues reads/workers
+	// GetMembrane calls over its batch (its own partition when disjoint,
+	// the full record list when overlapping) and verifies every membrane's
+	// identity against the pdid it asked for.
+	runRead := func(sys *core.System, pdids []string, overlap bool) (time.Duration, error) {
+		tok := sys.DEDToken()
+		per := reads / workers
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		start := time.Now()
+		for wk := 0; wk < workers; wk++ {
+			batch := pdids
+			if !overlap {
+				chunk := (len(pdids) + workers - 1) / workers
+				lo := wk * chunk
+				if lo >= len(pdids) {
+					batch = nil
+				} else {
+					hi := min(lo+chunk, len(pdids))
+					batch = pdids[lo:hi]
+				}
+			}
+			wg.Add(1)
+			go func(wk int, batch []string) {
+				defer wg.Done()
+				if len(batch) == 0 {
+					return
+				}
+				for k := 0; k < per; k++ {
+					pdid := batch[(wk+k)%len(batch)]
+					m, err := sys.DBFS().GetMembrane(tok, pdid)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if m.PDID != pdid {
+						errCh <- fmt.Errorf("bench: SC3 read %s got membrane of %s", pdid, m.PDID)
+						return
+					}
+				}
+			}(wk, batch)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errCh)
+		for err := range errCh {
+			return 0, err
+		}
+		return elapsed, nil
+	}
+
+	report := SC3Report{Experiment: "SC3", Schema: 1, Workers: workers, Subjects: n}
+	addRow := func(r SC3Row) { report.Rows = append(report.Rows, r) }
+
+	// Phase one: the cache ablation, fresh machine per row so hit rates and
+	// device state are comparable.
+	baselines := map[bool]float64{} // overlap -> cache-off reads/s
+	for _, cfg := range []struct {
+		name    string
+		cache   int
+		overlap bool
+	}{
+		{"readloop nocache disjoint", -1, false},
+		{"readloop cache disjoint", 0, false},
+		{"readloop nocache overlap", -1, true},
+		{"readloop cache overlap", 0, true},
+	} {
+		sys, _, pdids, err := seed(cfg.cache, 1)
+		if err != nil {
+			return fmt.Errorf("bench: SC3 %s: %w", cfg.name, err)
+		}
+		elapsed, err := runRead(sys, pdids, cfg.overlap)
+		if err != nil {
+			return fmt.Errorf("bench: SC3 %s: %w", cfg.name, err)
+		}
+		hitRate := cacheHitRate(sys)
+		ops := (reads / workers) * workers
+		row := SC3Row{
+			Config: cfg.name, Mode: "readloop", Cache: cfg.cache >= 0,
+			Overlap: cfg.overlap, Workers: workers, Ops: ops,
+			WallUS:    elapsed.Microseconds(),
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+			Speedup:   1, CacheHitRate: hitRate,
+		}
+		if cfg.cache < 0 {
+			baselines[cfg.overlap] = row.OpsPerSec
+		} else if base := baselines[cfg.overlap]; base > 0 {
+			row.Speedup = row.OpsPerSec / base
+			if cfg.overlap {
+				report.Summary.CacheSpeedupOverlap = row.Speedup
+			} else {
+				report.Summary.CacheSpeedupDisjoint = row.Speedup
+			}
+		}
+		addRow(row)
+	}
+
+	// Phase two: rights-engine scaling with the cache on and the PD disk
+	// split across per-shard FS instances (fs=8), 1 worker vs the pool.
+	var accessBase, sweepBase float64
+	for _, rw := range []int{1, workers} {
+		sys, subjects, _, err := seed(0, 8)
+		if err != nil {
+			return fmt.Errorf("bench: SC3 access: %w", err)
+		}
+		sys.Rights().SetWorkers(rw)
+		start := time.Now()
+		reps, err := sys.Rights().AccessBatch(subjects)
+		if err != nil {
+			return fmt.Errorf("bench: SC3 access: %w", err)
+		}
+		elapsed := time.Since(start)
+		for i, rep := range reps {
+			if got := len(rep.Data["user"]); got != perSubject {
+				return fmt.Errorf("bench: SC3 access %s exported %d records, want %d", subjects[i], got, perSubject)
+			}
+		}
+		row := SC3Row{
+			Config: fmt.Sprintf("access workers=%d", rw), Mode: "access",
+			Cache: true, Workers: rw, Ops: n,
+			WallUS:    elapsed.Microseconds(),
+			OpsPerSec: float64(n) / elapsed.Seconds(),
+			Speedup:   1, CacheHitRate: cacheHitRate(sys),
+		}
+		if rw == 1 {
+			accessBase = row.OpsPerSec
+		} else if accessBase > 0 {
+			row.Speedup = row.OpsPerSec / accessBase
+			report.Summary.AccessSpeedup = row.Speedup
+		}
+		addRow(row)
+	}
+	for _, rw := range []int{1, workers} {
+		sys, _, pdids, err := seed(0, 8)
+		if err != nil {
+			return fmt.Errorf("bench: SC3 sweep: %w", err)
+		}
+		clk, ok := sys.SimClock()
+		if !ok {
+			return fmt.Errorf("bench: sim clock required")
+		}
+		clk.Advance(370 * 24 * time.Hour) // Listing 1 TTL is 1Y: all expired
+		sys.Rights().SetWorkers(rw)
+		start := time.Now()
+		deleted, err := sys.Rights().SweepExpired()
+		if err != nil {
+			return fmt.Errorf("bench: SC3 sweep: %w", err)
+		}
+		elapsed := time.Since(start)
+		if len(deleted) != len(pdids) {
+			return fmt.Errorf("bench: SC3 sweep deleted %d, want %d", len(deleted), len(pdids))
+		}
+		row := SC3Row{
+			Config: fmt.Sprintf("sweep workers=%d", rw), Mode: "sweep",
+			Cache: true, Workers: rw, Ops: len(deleted),
+			WallUS:    elapsed.Microseconds(),
+			OpsPerSec: float64(len(deleted)) / elapsed.Seconds(),
+			Speedup:   1, CacheHitRate: cacheHitRate(sys),
+		}
+		if rw == 1 {
+			sweepBase = row.OpsPerSec
+		} else if sweepBase > 0 {
+			row.Speedup = row.OpsPerSec / sweepBase
+			report.Summary.SweepSpeedup = row.Speedup
+		}
+		addRow(row)
+	}
+
+	rows := make([][]string, 0, len(report.Rows))
+	for _, r := range report.Rows {
+		rows = append(rows, []string{
+			r.Config, r.Mode, fmt.Sprintf("%t", r.Cache), strconv.Itoa(r.Workers),
+			strconv.Itoa(r.Ops), strconv.FormatInt(r.WallUS, 10),
+			fmt.Sprintf("%.0f", r.OpsPerSec), fmt.Sprintf("%.2f", r.CacheHitRate),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	table(w, []string{"config", "mode", "cache", "workers", "ops", "wall us", "ops/s", "hit rate", "speedup"}, rows)
+	fmt.Fprintln(w, "  expectation: >=2x membrane-read throughput with the cache on (hit rate ~1 after insert")
+	fmt.Fprintln(w, "  write-through), and access/sweep wall time scaling with rights-engine workers")
+	return writeJSON(p, "SC3", &report)
+}
+
+// cacheHitRate reads the machine's membrane-cache hit fraction.
+func cacheHitRate(sys *core.System) float64 {
+	st := sys.Stats().DBFS
+	if st.CacheHits+st.CacheMisses == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+}

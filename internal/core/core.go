@@ -86,6 +86,10 @@ type Options struct {
 	// blockdev.DefaultLatency()). Storage-concurrency experiments set
 	// Sleep to make device time wall-clock visible.
 	PDLatency blockdev.LatencyModel
+	// MembraneCache bounds DBFS's decoded-membrane cache (entries across
+	// all shards): 0 = the dbfs default, negative disables the cache —
+	// the ablation configuration SC3 compares against.
+	MembraneCache int
 }
 
 func (o *Options) withDefaults() {
@@ -255,6 +259,9 @@ func Boot(opts Options) (*System, error) {
 	}
 	if s.store, err = dbfs.Create(s.pdFSs, s.guard, s.vault, opts.Clock); err != nil {
 		return nil, fmt.Errorf("core: dbfs: %w", err)
+	}
+	if opts.MembraneCache != 0 {
+		s.store.ConfigureMembraneCache(opts.MembraneCache)
 	}
 	if s.npdFS, err = plainfs.Format(npdView, inode.Options{
 		NInodes: opts.NInodes / 2, JournalBlocks: opts.JournalBlocks, Clock: opts.Clock,

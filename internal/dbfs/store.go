@@ -57,7 +57,10 @@ var (
 	ErrNoMembrane = errors.New("dbfs: record has no membrane")
 )
 
-// Stats counts DBFS activity for the experiment harness.
+// Stats counts DBFS activity for the experiment harness. MembraneReads
+// counts every successful membrane fetch; CacheHits/CacheMisses split those
+// between cache-served and decoded-from-disk, and CacheEvictions counts
+// entries displaced by the capacity bound.
 type Stats struct {
 	TypesCreated   uint64
 	Inserts        uint64
@@ -67,6 +70,9 @@ type Stats struct {
 	MembraneWrites uint64
 	Erasures       uint64
 	Deletes        uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
 }
 
 // formatEntry is one row of the format tree: the session-loaded descriptor
@@ -124,6 +130,11 @@ type Store struct {
 	// shards serialize per-subject record state; see shardOf.
 	shards [numShards]sync.RWMutex
 
+	// mcache memoizes decoded membranes per record (see cache.go); nil when
+	// disabled. Maintained under the shard locks, so readers can never
+	// observe a membrane older than the last committed mutation.
+	mcache *membraneCache
+
 	statsMu sync.Mutex
 	stats   Stats
 
@@ -134,31 +145,42 @@ type Store struct {
 	tablesRoots  []inode.Ino
 }
 
-// shardRef is one subject's routing: its lock shard and the filesystem
-// instance (with that instance's major-tree roots) holding its records.
+// shardRef is one subject's routing: its shard index, lock shard and the
+// filesystem instance (with that instance's major-tree roots) holding its
+// records.
 type shardRef struct {
+	idx        uint32
 	lk         *sync.RWMutex
 	fs         *inode.FS
 	subjRoot   inode.Ino
 	tablesRoot inode.Ino
 }
 
-// shardOf maps a subject ID onto its lock shard and filesystem instance
-// (inline FNV-1a: this runs on every record operation, so it must not
-// allocate).
-func (s *Store) shardOf(subjectID string) shardRef {
+// shardIndex hashes a subject ID onto its shard (inline FNV-1a: this runs
+// on every record operation, so it must not allocate).
+func shardIndex(subjectID string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(subjectID); i++ {
 		h = (h ^ uint32(subjectID[i])) * 16777619
 	}
-	shard := h % numShards
+	return h % numShards
+}
+
+// shardAt resolves a shard index to its lock and filesystem instance.
+func (s *Store) shardAt(shard uint32) shardRef {
 	fi := int(shard) % len(s.fss)
 	return shardRef{
+		idx:        shard,
 		lk:         &s.shards[shard],
 		fs:         s.fss[fi],
 		subjRoot:   s.subjectRoots[fi],
 		tablesRoot: s.tablesRoots[fi],
 	}
+}
+
+// shardOf maps a subject ID onto its lock shard and filesystem instance.
+func (s *Store) shardOf(subjectID string) shardRef {
+	return s.shardAt(shardIndex(subjectID))
 }
 
 // metaFS is the instance holding cross-subject metadata.
@@ -197,6 +219,7 @@ func Create(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock s
 		seqHighs:     make(map[string]uint64),
 		subjectRoots: make([]inode.Ino, len(fss)),
 		tablesRoots:  make([]inode.Ino, len(fss)),
+		mcache:       newMembraneCache(0),
 	}
 	for _, spec := range []struct {
 		name string
@@ -263,6 +286,7 @@ func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock sim
 		seqHighs:     make(map[string]uint64),
 		subjectRoots: make([]inode.Ino, len(fss)),
 		tablesRoots:  make([]inode.Ino, len(fss)),
+		mcache:       newMembraneCache(0),
 	}
 	var err error
 	if s.schemaRoot, err = s.metaFS().Lookup(inode.RootIno, schemaRootName); err != nil {
@@ -388,8 +412,25 @@ func (s *Store) check(tok *lsm.Token, op lsm.Operation, id string) error {
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	st := s.stats
+	s.statsMu.Unlock()
+	if s.mcache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.mcache.counters()
+	}
+	return st
+}
+
+// ConfigureMembraneCache resizes (or disables) the decoded-membrane cache:
+// capacity 0 restores the default bound (DefaultMembraneCacheCap), a
+// negative capacity disables caching entirely — the ablation configuration
+// benchmarks compare against. Existing entries are discarded. Call it at
+// mount time, before the store serves concurrent traffic.
+func (s *Store) ConfigureMembraneCache(capacity int) {
+	if capacity < 0 {
+		s.mcache = nil
+		return
+	}
+	s.mcache = newMembraneCache(capacity)
 }
 
 // schemaFor resolves a type's schema under the meta lock. Schemas are
@@ -738,6 +779,11 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 	if _, err := s.writeFileInode(sr.fs, tree, recName+memSuffix, "membrane", memBytes); err != nil {
 		return fail(err)
 	}
+	if s.mcache != nil {
+		// m is private to this insert (cloned or schema-built above), so the
+		// write-through costs one clone and first reads decode nothing.
+		s.mcache.writeThrough(sr.idx, pdid, m)
+	}
 	s.bumpStats(func(st *Stats) { st.Inserts++ })
 	return pdid, nil
 }
@@ -790,9 +836,17 @@ func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, er
 	return s.getMembraneLocked(sr, r)
 }
 
-// getMembraneLocked loads a membrane; caller holds the subject's shard lock
-// (either side).
+// getMembraneLocked loads a membrane, serving from the decoded-membrane
+// cache when possible; caller holds the subject's shard lock (either side),
+// which is what makes a cache fill here coherent — no mutator can commit
+// concurrently, so the filled value is the freshest stored state.
 func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error) {
+	if s.mcache != nil {
+		if m := s.mcache.get(sr.idx, r.pdid); m != nil {
+			s.bumpStats(func(st *Stats) { st.MembraneReads++ })
+			return m, nil
+		}
+	}
 	_, _, _, memIno, err := s.recordInos(sr, r)
 	if err != nil {
 		return nil, err
@@ -805,8 +859,50 @@ func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: membrane %s: %w", r.pdid, err)
 	}
+	if s.mcache != nil {
+		s.mcache.fill(sr.idx, r.pdid, m)
+	}
 	s.bumpStats(func(st *Stats) { st.MembraneReads++ })
 	return m, nil
+}
+
+// GetMembranes loads many membranes in one pass, grouping the pdids by
+// subject shard so each shard lock is taken once per batch instead of once
+// per record (the DED's ded_load_membrane stage and the rights engine fetch
+// whole candidate lists at a time). Results keep input order; the first
+// failing pdid aborts the batch.
+func (s *Store) GetMembranes(tok *lsm.Token, pdids []string) ([]*membrane.Membrane, error) {
+	out := make([]*membrane.Membrane, len(pdids))
+	type item struct {
+		idx int
+		r   ref
+	}
+	groups := make(map[uint32][]item)
+	for i, pdid := range pdids {
+		if err := s.check(tok, lsm.OpRead, pdid+memSuffix); err != nil {
+			return nil, err
+		}
+		r, _, err := s.resolve(pdid)
+		if err != nil {
+			return nil, err
+		}
+		shard := shardIndex(r.subjectID)
+		groups[shard] = append(groups[shard], item{idx: i, r: r})
+	}
+	for shard, items := range groups {
+		sr := s.shardAt(shard)
+		sr.lk.RLock()
+		for _, it := range items {
+			m, err := s.getMembraneLocked(sr, it.r)
+			if err != nil {
+				sr.lk.RUnlock()
+				return nil, err
+			}
+			out[it.idx] = m
+		}
+		sr.lk.RUnlock()
+	}
+	return out, nil
 }
 
 // MutateMembrane applies an atomic read-modify-write to a record's
@@ -863,8 +959,8 @@ func (s *Store) PutMembrane(tok *lsm.Token, m *membrane.Membrane) error {
 	return s.putMembraneLocked(sr, r, m)
 }
 
-// putMembraneLocked persists a membrane; caller holds the subject's shard
-// write lock.
+// putMembraneLocked persists a membrane and writes the decoded value through
+// the cache; caller holds the subject's shard write lock.
 func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) error {
 	_, _, _, memIno, err := s.recordInos(sr, r)
 	if err != nil {
@@ -874,15 +970,31 @@ func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) erro
 	if err != nil {
 		return err
 	}
-	// Replace contents: truncate then rewrite.
+	// Replace contents: truncate then rewrite. A failure mid-replace leaves
+	// the stored bytes torn, so the cache entry must not keep serving the
+	// pre-write image — invalidate and let the next read surface the state
+	// of the disk.
 	if err := sr.fs.Truncate(memIno, 0); err != nil {
+		s.cacheInvalidate(sr, r.pdid)
 		return err
 	}
 	if _, err := sr.fs.WriteAt(memIno, 0, raw); err != nil {
+		s.cacheInvalidate(sr, r.pdid)
 		return err
+	}
+	if s.mcache != nil {
+		s.mcache.writeThrough(sr.idx, r.pdid, m)
 	}
 	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
 	return nil
+}
+
+// cacheInvalidate bumps a record's cache version and drops its entry; caller
+// holds the subject's shard write lock.
+func (s *Store) cacheInvalidate(sr shardRef, pdid string) {
+	if s.mcache != nil {
+		s.mcache.invalidate(sr.idx, pdid)
+	}
 }
 
 // GetRecord loads and decrypts a record's fields (the DED's ded_load_data
@@ -1003,6 +1115,9 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 			return err
 		}
 	}
+	// The membrane bytes are untouched, but the record moved: bump its
+	// cache version so any cached membrane re-validates against disk.
+	s.cacheInvalidate(sr, pdid)
 	s.bumpStats(func(st *Stats) { st.Updates++ })
 	return nil
 }
@@ -1072,6 +1187,11 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 	// membrane file — never surface a record whose data is already gone.
 	if err := sr.fs.RemoveChild(tree, recName+memSuffix); err != nil {
 		return err
+	}
+	// The record is now invisible; forget it in the cache so no read can
+	// resurrect the membrane of a half-deleted record.
+	if s.mcache != nil {
+		s.mcache.drop(sr.idx, pdid)
 	}
 	if err := sr.fs.FreeInode(memIno); err != nil {
 		return err

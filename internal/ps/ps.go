@@ -144,6 +144,14 @@ func (s *Store) SetDefaultWorkers(workers int) {
 	s.defaultWorkers = workers
 }
 
+// DefaultWorkers reports the executor pool size InvokeBatch falls back to —
+// the machine-level concurrency the rights engine sizes its own sweeps with.
+func (s *Store) DefaultWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.defaultWorkers
+}
+
 // Register is ps_register. It validates the declaration, requires the
 // implementation to name its purpose, and statically matches declared
 // accesses against the purpose. A mismatch parks the processing as

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -28,12 +29,21 @@ import (
 	"repro/internal/simclock"
 )
 
-// Engine executes data-subject rights.
+// Engine executes data-subject rights. The cross-record rights — access
+// export, subject-wide erasure and consent changes, the TTL sweep — fan
+// their per-record work out over a worker pool (the DED executor for
+// mutations, a local pool for read-side scans), sized by SetWorkers or, by
+// default, the Processing Store's InvokeBatch pool. Reports stay
+// deterministic: results are index-addressed and sorted exactly as the
+// serial engine produced them.
 type Engine struct {
 	ps    *ps.Store
 	d     *ded.DED
 	log   *audit.Log
 	clock simclock.Clock
+
+	mu      sync.Mutex
+	workers int // 0 = follow ps.DefaultWorkers
 }
 
 // New wires a rights engine.
@@ -42,6 +52,76 @@ func New(p *ps.Store, d *ded.DED, log *audit.Log, clock simclock.Clock) *Engine 
 		clock = simclock.Real{}
 	}
 	return &Engine{ps: p, d: d, log: log, clock: clock}
+}
+
+// SetWorkers overrides the per-record fan-out width of the cross-record
+// rights. Zero (the default) follows the Processing Store's pool size; one
+// restores the serial PR-2 behaviour (the SC3 ablation baseline).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
+}
+
+// workerCount resolves the effective fan-out width.
+func (e *Engine) workerCount() int {
+	e.mu.Lock()
+	w := e.workers
+	e.mu.Unlock()
+	if w > 0 {
+		return w
+	}
+	if w := e.ps.DefaultWorkers(); w > 0 {
+		return w
+	}
+	return 1
+}
+
+// forEachIndexed runs fn(i) for every i in [0, n) on up to workers
+// goroutines and returns the error of the LOWEST failing index — the same
+// error a serial loop would have surfaced first, so parallel rights keep
+// deterministic failure reporting.
+func forEachIndexed(n, workers int, fn func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RecordExport is one PD record in a subject-access report: the data with
@@ -85,7 +165,41 @@ type AccessReport struct {
 
 // Access builds the subject-access report. Erased records appear with their
 // membrane metadata but no field values (the operator cannot read them).
+//
+// The membranes are fetched as one DBFS batch (one shard-lock pass, served
+// by the membrane cache), the per-record exports — including the decrypt in
+// GetRecord — are built on the worker pool, and the per-PD processing
+// history is one bulk audit query instead of a log-lock round-trip per
+// record. The report is byte-identical to the serial engine's: exports are
+// index-addressed and sorted by pdid within each type.
 func (e *Engine) Access(subjectID string) (*AccessReport, error) {
+	return e.access(subjectID, e.workerCount())
+}
+
+// AccessBatch builds access reports for many subjects at once, fanning the
+// subjects out over the worker pool — the portal-under-load shape, where
+// per-subject parallelism pays best: distinct subjects live on distinct
+// DBFS shards (and, with FSInstances > 1, distinct filesystems), so their
+// record reads overlap end to end. Reports keep the order of the requested
+// subjects; each report is built serially inside its worker, so the pool is
+// not oversubscribed.
+func (e *Engine) AccessBatch(subjectIDs []string) ([]*AccessReport, error) {
+	out := make([]*AccessReport, len(subjectIDs))
+	err := forEachIndexed(len(subjectIDs), e.workerCount(), func(i int) error {
+		rep, err := e.access(subjectIDs[i], 1)
+		if err != nil {
+			return err
+		}
+		out[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) access(subjectID string, workers int) (*AccessReport, error) {
 	store, tok := e.d.Store(), e.d.Token()
 	pdids, err := store.ListBySubject(tok, subjectID)
 	if err != nil {
@@ -97,11 +211,13 @@ func (e *Engine) Access(subjectID string) (*AccessReport, error) {
 		Data:        make(map[string][]RecordExport),
 		PerPD:       make(map[string][]ProcessingEntry),
 	}
-	for _, pdid := range pdids {
-		m, err := store.GetMembrane(tok, pdid)
-		if err != nil {
-			return nil, fmt.Errorf("rights: access %s: %w", pdid, err)
-		}
+	ms, err := store.GetMembranes(tok, pdids)
+	if err != nil {
+		return nil, fmt.Errorf("rights: access %s: %w", subjectID, err)
+	}
+	exps := make([]RecordExport, len(pdids))
+	err = forEachIndexed(len(pdids), workers, func(i int) error {
+		pdid, m := pdids[i], ms[i]
 		exp := RecordExport{
 			PDID:        pdid,
 			Type:        m.TypeName,
@@ -122,15 +238,24 @@ func (e *Engine) Access(subjectID string) (*AccessReport, error) {
 		if !m.Erased {
 			rec, err := store.GetRecord(tok, pdid)
 			if err != nil {
-				return nil, fmt.Errorf("rights: access %s: %w", pdid, err)
+				return fmt.Errorf("rights: access %s: %w", pdid, err)
 			}
 			exp.Fields = make(map[string]any, len(rec))
 			for name, v := range rec {
 				exp.Fields[name] = v.Export()
 			}
 		}
-		report.Data[m.TypeName] = append(report.Data[m.TypeName], exp)
-		for _, entry := range e.log.ByPD(pdid) {
+		exps[i] = exp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, exp := range exps {
+		report.Data[exp.Type] = append(report.Data[exp.Type], exp)
+	}
+	for pdid, entries := range e.log.ByPDs(pdids) {
+		for _, entry := range entries {
 			report.PerPD[pdid] = append(report.PerPD[pdid], toEntry(entry))
 		}
 	}
@@ -188,33 +313,50 @@ type EraseReport struct {
 }
 
 // Erase executes the right to be forgotten for every PD of the subject,
-// following the copy ledger so copies are erased with their originals.
+// following the copy ledger so copies are erased with their originals. The
+// family-expanded targets run as one ps.InvokeBatch on the DED executor
+// pool — crypto-erasure of a subject's records is per-record independent
+// (erasure is idempotent and distinct records never share a data key).
 func (e *Engine) Erase(subjectID string) (*EraseReport, error) {
 	store, tok := e.d.Store(), e.d.Token()
 	pdids, err := store.ListBySubject(tok, subjectID)
 	if err != nil {
 		return nil, fmt.Errorf("rights: erase %s: %w", subjectID, err)
 	}
-	report := &EraseReport{SubjectID: subjectID}
+	targets := e.expandFamilies(pdids)
+	reqs := make([]ps.InvokeRequest, len(targets))
+	for i, member := range targets {
+		reqs[i] = ps.InvokeRequest{
+			Processing:  builtins.EraseName,
+			PDRef:       member,
+			Maintenance: true,
+		}
+	}
+	for i, item := range e.ps.InvokeBatch(reqs, e.workerCount()) {
+		if item.Err != nil {
+			return nil, fmt.Errorf("rights: erase %s: %w", targets[i], item.Err)
+		}
+	}
+	report := &EraseReport{SubjectID: subjectID, Erased: targets}
+	sort.Strings(report.Erased)
+	return report, nil
+}
+
+// expandFamilies maps pdids through the copy ledger to the deduplicated
+// union of their families, in first-seen order.
+func (e *Engine) expandFamilies(pdids []string) []string {
 	seen := make(map[string]bool)
+	var out []string
 	for _, pdid := range pdids {
 		for _, member := range e.d.Ledger().Family(pdid) {
 			if seen[member] {
 				continue
 			}
 			seen[member] = true
-			if _, err := e.ps.Invoke(ps.InvokeRequest{
-				Processing:  builtins.EraseName,
-				PDRef:       member,
-				Maintenance: true,
-			}); err != nil {
-				return nil, fmt.Errorf("rights: erase %s: %w", member, err)
-			}
-			report.Erased = append(report.Erased, member)
+			out = append(out, member)
 		}
 	}
-	sort.Strings(report.Erased)
-	return report, nil
+	return out
 }
 
 // EraseRecord erases one record and every copy in its family.
@@ -262,27 +404,29 @@ func (e *Engine) WithdrawConsent(subjectID, purposeName string) error {
 	})
 }
 
+// consentAll applies one consent mutation to every PD of the subject (and
+// every copy) as a batch on the DED executor pool. Records are disjoint, so
+// the per-record atomic read-modify-write (dbfs.MutateMembrane) is the only
+// ordering that matters and the fan-out preserves it.
 func (e *Engine) consentAll(subjectID, purposeName string, params map[string]any) error {
 	store, tok := e.d.Store(), e.d.Token()
 	pdids, err := store.ListBySubject(tok, subjectID)
 	if err != nil {
 		return fmt.Errorf("rights: consent %s: %w", subjectID, err)
 	}
-	seen := make(map[string]bool)
-	for _, pdid := range pdids {
-		for _, member := range e.d.Ledger().Family(pdid) {
-			if seen[member] {
-				continue
-			}
-			seen[member] = true
-			if _, err := e.ps.Invoke(ps.InvokeRequest{
-				Processing:  builtins.ConsentName,
-				PDRef:       member,
-				Params:      params,
-				Maintenance: true,
-			}); err != nil {
-				return fmt.Errorf("rights: consent %s on %s: %w", purposeName, member, err)
-			}
+	targets := e.expandFamilies(pdids)
+	reqs := make([]ps.InvokeRequest, len(targets))
+	for i, member := range targets {
+		reqs[i] = ps.InvokeRequest{
+			Processing:  builtins.ConsentName,
+			PDRef:       member,
+			Params:      params,
+			Maintenance: true,
+		}
+	}
+	for i, item := range e.ps.InvokeBatch(reqs, e.workerCount()) {
+		if item.Err != nil {
+			return fmt.Errorf("rights: consent %s on %s: %w", purposeName, targets[i], item.Err)
 		}
 	}
 	return nil
@@ -302,7 +446,14 @@ func (e *Engine) Restrict(pdid string, restricted bool) error {
 // SweepExpired walks every record and physically deletes those whose TTL
 // elapsed — the storage-limitation duty ("the time to live ... can be used
 // to implement the right to be forgotten", §2). It returns the deleted
-// pdids.
+// pdids, sorted.
+//
+// The sweep runs in two parallel phases: a read-only scan fans subjects out
+// over the worker pool (each subject's membrane fetches are one cached DBFS
+// batch), then the expired records are deleted as one ps.InvokeBatch on the
+// DED executor. On a delete failure the successfully deleted pdids are
+// still returned alongside the first (request-ordered) error, matching the
+// serial engine's partial-progress contract.
 func (e *Engine) SweepExpired() ([]string, error) {
 	store, tok := e.d.Store(), e.d.Token()
 	subjects, err := store.Subjects(tok)
@@ -310,31 +461,51 @@ func (e *Engine) SweepExpired() ([]string, error) {
 		return nil, fmt.Errorf("rights: sweep: %w", err)
 	}
 	now := e.clock.Now()
-	var deleted []string
-	for _, subject := range subjects {
-		pdids, err := store.ListBySubject(tok, subject)
+	workers := e.workerCount()
+	expired := make([][]string, len(subjects))
+	err = forEachIndexed(len(subjects), workers, func(i int) error {
+		pdids, err := store.ListBySubject(tok, subjects[i])
 		if err != nil {
-			return deleted, err
+			return err
 		}
-		for _, pdid := range pdids {
-			m, err := store.GetMembrane(tok, pdid)
-			if err != nil {
-				return deleted, err
+		ms, err := store.GetMembranes(tok, pdids)
+		if err != nil {
+			return err
+		}
+		for j, m := range ms {
+			if m.ExpiredAt(now) {
+				expired[i] = append(expired[i], pdids[j])
 			}
-			if !m.ExpiredAt(now) {
-				continue
-			}
-			if _, err := e.ps.Invoke(ps.InvokeRequest{
-				Processing:  builtins.DeleteName,
-				PDRef:       pdid,
-				Maintenance: true,
-			}); err != nil {
-				return deleted, fmt.Errorf("rights: sweep %s: %w", pdid, err)
-			}
-			e.d.Ledger().Forget(pdid)
-			deleted = append(deleted, pdid)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rights: sweep: %w", err)
+	}
+	var targets []string
+	for _, list := range expired {
+		targets = append(targets, list...)
+	}
+	reqs := make([]ps.InvokeRequest, len(targets))
+	for i, pdid := range targets {
+		reqs[i] = ps.InvokeRequest{
+			Processing:  builtins.DeleteName,
+			PDRef:       pdid,
+			Maintenance: true,
 		}
 	}
+	var deleted []string
+	var firstErr error
+	for i, item := range e.ps.InvokeBatch(reqs, workers) {
+		if item.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rights: sweep %s: %w", targets[i], item.Err)
+			}
+			continue
+		}
+		e.d.Ledger().Forget(targets[i])
+		deleted = append(deleted, targets[i])
+	}
 	sort.Strings(deleted)
-	return deleted, nil
+	return deleted, firstErr
 }

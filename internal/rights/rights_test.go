@@ -401,3 +401,115 @@ func TestAuditTrailSurvivesRights(t *testing.T) {
 		t.Fatalf("kinds = %v", kinds)
 	}
 }
+
+// TestParallelRightsMatchSerial runs the cross-record rights at several
+// worker widths and checks every report is identical to the serial
+// engine's: the fan-out must not change what a subject receives, erases or
+// sweeps — only how fast.
+func TestParallelRightsMatchSerial(t *testing.T) {
+	subjects := []string{"p-ada", "p-bea", "p-cyd", "p-dee", "p-eli"}
+	seed := func(t *testing.T) *rig {
+		r := newRig(t)
+		for i, subject := range subjects {
+			for j := 0; j < 3; j++ {
+				r.seedUser(t, subject, subject+"-rec", int64(1960+i*3+j))
+			}
+		}
+		return r
+	}
+
+	// Access: serial data sections are the reference.
+	serial := seed(t)
+	serial.engine.SetWorkers(1)
+	wantData := make([]string, len(subjects))
+	for i, subject := range subjects {
+		rep, err := serial.engine.Access(subject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantData[i] = string(raw)
+	}
+	par := seed(t)
+	par.engine.SetWorkers(4)
+	reps, err := par.engine.AccessBatch(subjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(subjects) {
+		t.Fatalf("AccessBatch returned %d reports, want %d", len(reps), len(subjects))
+	}
+	for i, rep := range reps {
+		if rep.SubjectID != subjects[i] {
+			t.Fatalf("report %d is for %s, want %s", i, rep.SubjectID, subjects[i])
+		}
+		raw, err := json.Marshal(rep.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != wantData[i] {
+			t.Errorf("parallel access data for %s diverged:\n got %s\nwant %s", subjects[i], raw, wantData[i])
+		}
+	}
+
+	// Erase: parallel erasure tombstones exactly the subject's records.
+	rep, err := par.engine.Erase(subjects[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Erased) != 3 {
+		t.Fatalf("Erased = %v, want 3 pdids", rep.Erased)
+	}
+	for _, pdid := range rep.Erased {
+		m, err := par.store.GetMembrane(par.tok, pdid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Erased {
+			t.Errorf("%s not tombstoned", pdid)
+		}
+	}
+
+	// Consent withdrawal fans out but must land on every record.
+	if err := par.engine.WithdrawConsent(subjects[1], "purpose3"); err != nil {
+		t.Fatal(err)
+	}
+	pdids, err := par.store.ListBySubject(par.tok, subjects[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pdid := range pdids {
+		m, err := par.store.GetMembrane(par.tok, pdid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := m.Consents["purpose3"]; g.Kind != membrane.GrantNone {
+			t.Errorf("%s purpose3 grant = %+v, want none", pdid, g)
+		}
+	}
+
+	// Sweep: everything is expired after a year; both widths must agree.
+	serial.clock.Advance(366 * 24 * time.Hour)
+	par.clock.Advance(366 * 24 * time.Hour)
+	wantSwept, err := serial.engine.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSwept, err := par.engine.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel rig already erased subjects[0]'s records (tombstones
+	// still expire) — both sweeps must delete every seeded record.
+	if len(wantSwept) != len(subjects)*3 || len(gotSwept) != len(wantSwept) {
+		t.Fatalf("sweep sizes: serial %d, parallel %d, want %d", len(wantSwept), len(gotSwept), len(subjects)*3)
+	}
+	for i := range wantSwept {
+		if wantSwept[i] != gotSwept[i] {
+			t.Fatalf("sweep order diverged at %d: %s vs %s", i, wantSwept[i], gotSwept[i])
+		}
+	}
+}
