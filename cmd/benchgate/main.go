@@ -7,8 +7,9 @@
 // "experiments"; each entry's summary metrics are conservative floors (not
 // one machine's maximum), so the gate is portable across runners with
 // different sleep granularity. What it protects are the headline scaling
-// properties: SC2's group-commit + per-shard-FS insert speedup, and SC3's
-// membrane-cache read speedup plus the parallel rights-engine scaling.
+// properties: SC2's group-commit + per-shard-FS insert speedup, SC3's
+// membrane-cache read speedup plus the parallel rights-engine scaling, and
+// SC4's admission-controlled goodput ratio past saturation.
 //
 // A baseline entry with no generated result — or a generated result with no
 // baseline entry — is a configuration error (exit 2) named after the
@@ -22,8 +23,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,114 +42,158 @@ type baselineFile struct {
 	Experiments map[string]json.RawMessage `json:"experiments"`
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
-	os.Exit(2)
+// errRegression reports a gated metric below its floor (exit 1); every
+// configuration problem — malformed baseline, missing result, missing
+// baseline entry, zero floor — is a configError (exit 2).
+var errRegression = errors.New("benchgate: gated metric regressed")
+
+type configError struct{ msg string }
+
+func (e *configError) Error() string { return "benchgate: " + e.msg }
+
+func confErrf(format string, args ...any) error {
+	return &configError{msg: fmt.Sprintf(format, args...)}
 }
 
 // checkFloor compares one summary metric against its baseline floor and
-// returns false (after printing the failure) on regression. A baseline
+// reports false (after printing the failure) on regression. A baseline
 // metric of zero means the field is absent or mistyped in the baseline —
 // that would make the floor 0 and the gate a silent no-op, so it is a
 // configuration error, not a pass.
-func checkFloor(exp, metric string, base, cur, maxRegress float64) bool {
+func checkFloor(out io.Writer, exp, metric string, base, cur, maxRegress float64) (bool, error) {
 	if base <= 0 {
-		fatalf("experiment %s: baseline summary metric %q is %.2f — absent or mistyped in the baseline, which would disable the gate",
+		return false, confErrf("experiment %s: baseline summary metric %q is %.2f — absent or mistyped in the baseline, which would disable the gate",
 			exp, metric, base)
 	}
 	floor := base * (1 - maxRegress)
-	fmt.Printf("benchgate: %s %-24s baseline=%.2fx current=%.2fx floor=%.2fx\n",
+	fmt.Fprintf(out, "benchgate: %s %-24s baseline=%.2fx current=%.2fx floor=%.2fx\n",
 		exp, metric, base, cur, floor)
 	if cur < floor {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s %s regressed more than %.0f%% (%.2fx < %.2fx)\n",
+		fmt.Fprintf(out, "benchgate: FAIL — %s %s regressed more than %.0f%% (%.2fx < %.2fx)\n",
 			exp, metric, maxRegress*100, cur, floor)
-		return false
+		return false, nil
 	}
-	return true
+	return true, nil
 }
 
 // gateSC2 compares the SC2 storage-stack speedup.
-func gateSC2(baseRaw json.RawMessage, curPath string, maxRegress float64) bool {
+func gateSC2(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
 	var base, cur bench.SC2Report
-	decodeReport(baseRaw, "baseline", "SC2", &base)
-	decodeFile(curPath, "SC2", &cur)
-	if base.Experiment != "SC2" || len(base.Rows) == 0 || cur.Experiment != "SC2" || len(cur.Rows) == 0 {
-		fatalf("experiment SC2: malformed report (baseline or %s)", curPath)
+	if err := decodeReport(baseRaw, "baseline", "SC2", &base); err != nil {
+		return false, err
 	}
-	return checkFloor("SC2", "best_speedup", base.Summary.BestSpeedup, cur.Summary.BestSpeedup, maxRegress)
+	if err := decodeFile(curPath, "SC2", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC2" || len(base.Rows) == 0 || cur.Experiment != "SC2" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC2: malformed report (baseline or %s)", curPath)
+	}
+	return checkFloor(out, "SC2", "best_speedup", base.Summary.BestSpeedup, cur.Summary.BestSpeedup, maxRegress)
 }
 
 // gateSC3 compares the read-path speedups: the membrane-cache ablation and
 // the parallel rights-engine scaling.
-func gateSC3(baseRaw json.RawMessage, curPath string, maxRegress float64) bool {
+func gateSC3(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
 	var base, cur bench.SC3Report
-	decodeReport(baseRaw, "baseline", "SC3", &base)
-	decodeFile(curPath, "SC3", &cur)
+	if err := decodeReport(baseRaw, "baseline", "SC3", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC3", &cur); err != nil {
+		return false, err
+	}
 	if base.Experiment != "SC3" || len(base.Rows) == 0 || cur.Experiment != "SC3" || len(cur.Rows) == 0 {
-		fatalf("experiment SC3: malformed report (baseline or %s)", curPath)
+		return false, confErrf("experiment SC3: malformed report (baseline or %s)", curPath)
 	}
 	ok := true
-	ok = checkFloor("SC3", "cache_speedup_disjoint", base.Summary.CacheSpeedupDisjoint, cur.Summary.CacheSpeedupDisjoint, maxRegress) && ok
-	ok = checkFloor("SC3", "cache_speedup_overlap", base.Summary.CacheSpeedupOverlap, cur.Summary.CacheSpeedupOverlap, maxRegress) && ok
-	ok = checkFloor("SC3", "access_speedup", base.Summary.AccessSpeedup, cur.Summary.AccessSpeedup, maxRegress) && ok
-	ok = checkFloor("SC3", "sweep_speedup", base.Summary.SweepSpeedup, cur.Summary.SweepSpeedup, maxRegress) && ok
-	return ok
-}
-
-func decodeReport(raw json.RawMessage, src, exp string, v any) {
-	if err := json.Unmarshal(raw, v); err != nil {
-		fatalf("experiment %s: decode %s entry: %v", exp, src, err)
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"cache_speedup_disjoint", base.Summary.CacheSpeedupDisjoint, cur.Summary.CacheSpeedupDisjoint},
+		{"cache_speedup_overlap", base.Summary.CacheSpeedupOverlap, cur.Summary.CacheSpeedupOverlap},
+		{"access_speedup", base.Summary.AccessSpeedup, cur.Summary.AccessSpeedup},
+		{"sweep_speedup", base.Summary.SweepSpeedup, cur.Summary.SweepSpeedup},
+	} {
+		mok, err := checkFloor(out, "SC3", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
 	}
+	return ok, nil
 }
 
-func decodeFile(path, exp string, v any) {
+// gateSC4 compares the admission-control headline: the fraction of
+// pre-saturation goodput the controlled machine sustains at 2x offered
+// load.
+func gateSC4(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC4Report
+	if err := decodeReport(baseRaw, "baseline", "SC4", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC4", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC4" || len(base.Rows) == 0 || cur.Experiment != "SC4" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC4: malformed report (baseline or %s)", curPath)
+	}
+	return checkFloor(out, "SC4", "controlled_goodput_ratio",
+		base.Summary.ControlledGoodputRatio, cur.Summary.ControlledGoodputRatio, maxRegress)
+}
+
+func decodeReport(raw json.RawMessage, src, exp string, v any) error {
+	if err := json.Unmarshal(raw, v); err != nil {
+		return confErrf("experiment %s: decode %s entry: %v", exp, src, err)
+	}
+	return nil
+}
+
+func decodeFile(path, exp string, v any) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("experiment %s: %v", exp, err)
+		return confErrf("experiment %s: %v", exp, err)
 	}
 	if err := json.Unmarshal(raw, v); err != nil {
-		fatalf("experiment %s: decode %s: %v", exp, path, err)
+		return confErrf("experiment %s: decode %s: %v", exp, path, err)
 	}
+	return nil
 }
 
 // gates maps experiment id to its comparison; adding a gated experiment
 // means adding a row here AND an entry to BENCH_baseline.json.
-var gates = map[string]func(json.RawMessage, string, float64) bool{
+var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, error){
 	"SC2": gateSC2,
 	"SC3": gateSC3,
+	"SC4": gateSC4,
 }
 
-func main() {
-	var (
-		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file (schema 2)")
-		resultsDir   = flag.String("results", "bench-out", "directory holding freshly generated BENCH_<ID>.json files")
-		maxRegress   = flag.Float64("max-regress", 0.20, "allowed fractional regression of each gated summary metric")
-	)
-	flag.Parse()
-
-	raw, err := os.ReadFile(*baselinePath)
+// run executes the whole gate. It returns nil when every gated metric
+// holds, errRegression when one regressed (failure text already printed to
+// out), or a *configError for any configuration problem.
+func run(baselinePath, resultsDir string, maxRegress float64, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		fatalf("%v", err)
+		return confErrf("%v", err)
 	}
 	var base baselineFile
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fatalf("decode %s: %v", *baselinePath, err)
+		return confErrf("decode %s: %v", baselinePath, err)
 	}
 	if base.Schema != 2 || len(base.Experiments) == 0 {
-		fatalf("%s: unsupported baseline schema %d (want 2 with an \"experiments\" map — regenerate it)",
-			*baselinePath, base.Schema)
+		return confErrf("%s: unsupported baseline schema %d (want 2 with an \"experiments\" map — regenerate it)",
+			baselinePath, base.Schema)
 	}
 
 	// Enumerate the generated results.
-	entries, err := os.ReadDir(*resultsDir)
+	entries, err := os.ReadDir(resultsDir)
 	if err != nil {
-		fatalf("%v", err)
+		return confErrf("%v", err)
 	}
 	currents := make(map[string]string)
 	for _, e := range entries {
 		name := e.Name()
 		if id, ok := strings.CutPrefix(name, "BENCH_"); ok && strings.HasSuffix(id, ".json") {
-			currents[strings.TrimSuffix(id, ".json")] = filepath.Join(*resultsDir, name)
+			currents[strings.TrimSuffix(id, ".json")] = filepath.Join(resultsDir, name)
 		}
 	}
 
@@ -159,11 +206,16 @@ func main() {
 	sort.Strings(baseIDs)
 	for _, id := range baseIDs {
 		if _, ok := gates[id]; !ok {
-			fatalf("experiment %s: baseline entry has no registered gate (known: SC2, SC3)", id)
+			known := make([]string, 0, len(gates))
+			for k := range gates {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return confErrf("experiment %s: baseline entry has no registered gate (known: %s)", id, strings.Join(known, ", "))
 		}
 		if _, ok := currents[id]; !ok {
-			fatalf("experiment %s: baseline entry present but %s was not generated — run `go run ./cmd/benchfig -exp %s -small -jsondir %s`",
-				id, filepath.Join(*resultsDir, "BENCH_"+id+".json"), id, *resultsDir)
+			return confErrf("experiment %s: baseline entry present but %s was not generated — run `go run ./cmd/benchfig -exp %s -small -jsondir %s`",
+				id, filepath.Join(resultsDir, "BENCH_"+id+".json"), id, resultsDir)
 		}
 	}
 	curIDs := make([]string, 0, len(currents))
@@ -174,13 +226,35 @@ func main() {
 	ok := true
 	for _, id := range curIDs {
 		if _, inBase := base.Experiments[id]; !inBase {
-			fatalf("experiment %s: %s generated but %s has no entry for it — append the experiment to the baseline",
-				id, currents[id], *baselinePath)
+			return confErrf("experiment %s: %s generated but %s has no entry for it — append the experiment to the baseline",
+				id, currents[id], baselinePath)
 		}
-		ok = gates[id](base.Experiments[id], currents[id], *maxRegress) && ok
+		idOK, err := gates[id](out, base.Experiments[id], currents[id], maxRegress)
+		if err != nil {
+			return err
+		}
+		ok = idOK && ok
 	}
 	if !ok {
-		os.Exit(1)
+		return errRegression
 	}
-	fmt.Println("benchgate: OK")
+	fmt.Fprintln(out, "benchgate: OK")
+	return nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file (schema 2)")
+		resultsDir   = flag.String("results", "bench-out", "directory holding freshly generated BENCH_<ID>.json files")
+		maxRegress   = flag.Float64("max-regress", 0.20, "allowed fractional regression of each gated summary metric")
+	)
+	flag.Parse()
+	switch err := run(*baselinePath, *resultsDir, *maxRegress, os.Stdout); {
+	case err == nil:
+	case errors.Is(err, errRegression):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// sc2Report builds a minimal valid SC2 report with the given headline.
+func sc2Report(bestSpeedup float64) *bench.SC2Report {
+	r := &bench.SC2Report{Experiment: "SC2", Schema: 1, Workers: 8, Subjects: 4}
+	r.Rows = []bench.SC2Row{{Config: "x", Inserts: 4, InsertsPerSec: 1}}
+	r.Summary.BestSpeedup = bestSpeedup
+	r.Summary.BestInsertsPerSec = 1
+	r.Summary.BaselineInsertsPerSec = 1
+	return r
+}
+
+// sc3Report builds a minimal valid SC3 report with all four headlines set
+// to v.
+func sc3Report(v float64) *bench.SC3Report {
+	r := &bench.SC3Report{Experiment: "SC3", Schema: 1, Workers: 8, Subjects: 4}
+	r.Rows = []bench.SC3Row{{Config: "x", Mode: "readloop", Ops: 1, OpsPerSec: 1}}
+	r.Summary.CacheSpeedupDisjoint = v
+	r.Summary.CacheSpeedupOverlap = v
+	r.Summary.AccessSpeedup = v
+	r.Summary.SweepSpeedup = v
+	return r
+}
+
+// sc4Report builds a minimal valid SC4 report with the given gated ratio.
+func sc4Report(ratio float64) *bench.SC4Report {
+	r := &bench.SC4Report{Experiment: "SC4", Schema: 1, Clients: 8, Subjects: 4, QueueBound: 8}
+	r.Rows = []bench.SC4Row{{Config: "admission 2x", Controlled: true, Offered: 4}}
+	r.Summary.ControlledGoodputRatio = ratio
+	r.Summary.CapacityPerSec = 100
+	return r
+}
+
+// writeBaseline writes a schema-2 baseline holding the given experiment
+// entries.
+func writeBaseline(t *testing.T, dir string, experiments map[string]any) string {
+	t.Helper()
+	raw := map[string]json.RawMessage{}
+	for id, v := range experiments {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[id] = b
+	}
+	blob, err := json.Marshal(map[string]any{"schema": 2, "experiments": raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeResult drops one generated BENCH_<id>.json into the results dir.
+func writeResult(t *testing.T, dir, id string, v any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunEdgePaths is the table over the schema-2 configuration edge
+// paths: every path must fail as a *named* configuration error (exit 2 in
+// main), never a silent skip — plus the regression boundary, where
+// exactly-at-threshold passes and epsilon-below fails with exit 1.
+func TestRunEdgePaths(t *testing.T) {
+	const maxRegress = 0.25 // floor = base * 0.75, exact in binary
+	cases := []struct {
+		name string
+		// baseline entries and generated results.
+		baseline map[string]any
+		results  map[string]any
+		// wantConfigErr: run must return a *configError whose text
+		// contains every fragment (the named exit-2 error).
+		wantConfigErr []string
+		// wantRegression: run must return errRegression and print every
+		// fragment.
+		wantRegression []string
+		// wantOK: run must pass.
+		wantOK bool
+	}{
+		{
+			name:     "missing experiment in results",
+			baseline: map[string]any{"SC2": sc2Report(2), "SC4": sc4Report(0.9)},
+			results:  map[string]any{"SC2": sc2Report(2)},
+			wantConfigErr: []string{
+				"experiment SC4",
+				"baseline entry present but",
+				"was not generated",
+			},
+		},
+		{
+			name:     "missing experiment in baseline",
+			baseline: map[string]any{"SC2": sc2Report(2)},
+			results:  map[string]any{"SC2": sc2Report(2), "SC4": sc4Report(0.9)},
+			wantConfigErr: []string{
+				"experiment SC4",
+				"has no entry for it",
+			},
+		},
+		{
+			name:     "baseline entry without a registered gate",
+			baseline: map[string]any{"SC9": sc2Report(2)},
+			results:  map[string]any{"SC9": sc2Report(2)},
+			wantConfigErr: []string{
+				"experiment SC9",
+				"no registered gate",
+			},
+		},
+		{
+			name:     "zero floor disables the gate",
+			baseline: map[string]any{"SC4": sc4Report(0)},
+			results:  map[string]any{"SC4": sc4Report(0.9)},
+			wantConfigErr: []string{
+				"experiment SC4",
+				`baseline summary metric "controlled_goodput_ratio" is 0.00`,
+				"would disable the gate",
+			},
+		},
+		{
+			name:     "zero floor in a multi-metric gate",
+			baseline: map[string]any{"SC3": sc3Report(0)},
+			results:  map[string]any{"SC3": sc3Report(4)},
+			wantConfigErr: []string{
+				"experiment SC3",
+				`baseline summary metric "cache_speedup_disjoint" is 0.00`,
+			},
+		},
+		{
+			name:     "regression exactly at the threshold passes",
+			baseline: map[string]any{"SC4": sc4Report(1.0)},
+			results:  map[string]any{"SC4": sc4Report(0.75)}, // floor is exactly 0.75
+			wantOK:   true,
+		},
+		{
+			name:     "regression just past the threshold fails",
+			baseline: map[string]any{"SC4": sc4Report(1.0)},
+			results:  map[string]any{"SC4": sc4Report(0.7499)},
+			wantRegression: []string{
+				"FAIL",
+				"SC4 controlled_goodput_ratio regressed more than 25%",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			resultsDir := filepath.Join(dir, "bench-out")
+			if err := os.MkdirAll(resultsDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			baselinePath := writeBaseline(t, dir, tc.baseline)
+			for id, v := range tc.results {
+				writeResult(t, resultsDir, id, v)
+			}
+			var out bytes.Buffer
+			err := run(baselinePath, resultsDir, maxRegress, &out)
+			switch {
+			case tc.wantOK:
+				if err != nil {
+					t.Fatalf("run = %v, want pass\noutput:\n%s", err, out.String())
+				}
+				if !strings.Contains(out.String(), "benchgate: OK") {
+					t.Fatalf("pass did not print OK:\n%s", out.String())
+				}
+			case tc.wantConfigErr != nil:
+				var cfg *configError
+				if !errors.As(err, &cfg) {
+					t.Fatalf("run = %v, want a *configError (exit 2)", err)
+				}
+				for _, frag := range tc.wantConfigErr {
+					if !strings.Contains(err.Error(), frag) {
+						t.Fatalf("config error %q does not name %q", err.Error(), frag)
+					}
+				}
+			default:
+				if !errors.Is(err, errRegression) {
+					t.Fatalf("run = %v, want errRegression (exit 1)", err)
+				}
+				for _, frag := range tc.wantRegression {
+					if !strings.Contains(out.String(), frag) {
+						t.Fatalf("regression output missing %q:\n%s", frag, out.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunBaselineFileProblems covers the pre-gate configuration errors:
+// unreadable baseline, wrong schema, unreadable results directory.
+func TestRunBaselineFileProblems(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+
+	var cfg *configError
+	if err := run(filepath.Join(dir, "nope.json"), dir, 0.2, &out); !errors.As(err, &cfg) {
+		t.Fatalf("missing baseline: %v, want *configError", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(bad, dir, 0.2, &out)
+	if !errors.As(err, &cfg) || !strings.Contains(err.Error(), "unsupported baseline schema 1") {
+		t.Fatalf("schema-1 baseline: %v, want named schema config error", err)
+	}
+
+	good := writeBaseline(t, dir, map[string]any{"SC4": sc4Report(0.9)})
+	if err := run(good, filepath.Join(dir, "missing-dir"), 0.2, &out); !errors.As(err, &cfg) {
+		t.Fatalf("missing results dir: %v, want *configError", err)
+	}
+}

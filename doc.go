@@ -3,9 +3,10 @@
 // arXiv:2205.10929).
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory, the storage commit path and the membrane read path), the
-// runnable entry points under cmd/ and examples/, and the benchmark
-// harness in bench_test.go plus cmd/benchfig, whose registry regenerates
-// every reproduced artifact and the SC1-SC3 scaling experiments;
-// cmd/benchgate holds CI to the checked-in BENCH_baseline.json floors.
+// inventory, the storage commit path, the membrane read path, and the
+// admission-and-deadlines story), the runnable entry points under cmd/
+// and examples/, and the benchmark harness in bench_test.go plus
+// cmd/benchfig, whose registry regenerates every reproduced artifact and
+// the SC1-SC4 scaling experiments; cmd/benchgate holds CI to the
+// checked-in BENCH_baseline.json floors.
 package repro

@@ -4,7 +4,9 @@
 // (Art. 16), restriction (Art. 18), portability (Art. 20), consent
 // withdrawal (Art. 7(3)) and erasure (Art. 17) — then the authority plays
 // the legal-investigation card and recovers the escrowed data that the
-// operator can no longer read.
+// operator can no longer read, and the deadline-aware background sweeper
+// enforces storage limitation (Art. 5(1)(e)) when the retention period
+// runs out.
 //
 //	go run ./examples/rightsportal
 package main
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/collect"
 	"repro/internal/core"
@@ -138,6 +141,30 @@ func run() error {
 		return err
 	}
 	fmt.Printf("  [authority] escrow recovery succeeded (%d plaintext bytes available to investigators only)\n", len(pt))
+
+	// Art. 5(1)(e) — storage limitation, enforced by the clock. The
+	// background sweeper tracks every record's retention deadline and
+	// physically deletes expired PD (tombstones and retained ciphertext
+	// included) without anyone asking. The portal runs on the simulated
+	// machine clock, so five years pass in one call.
+	sweeper := sys.Rights().StartSweeper(rights.SweeperOptions{Interval: time.Hour})
+	defer sweeper.Stop()
+	clk, ok := sys.SimClock()
+	if !ok {
+		return fmt.Errorf("sim clock expected")
+	}
+	clk.Advance(5*365*24*time.Hour + time.Hour) // the account type's age is 5Y
+	sweeper.Sync()
+	leftover, err := sys.DBFS().ListBySubject(sys.DEDToken(), "nora")
+	if err != nil {
+		return err
+	}
+	if len(leftover) != 0 {
+		return fmt.Errorf("retention deadline passed but records remain: %v", leftover)
+	}
+	st := sweeper.Stats()
+	fmt.Printf("  [Art.5]  retention ran out: background sweeper deleted %d record(s) in %d pass(es), nothing left on disk\n",
+		st.Deleted, st.Passes)
 
 	// The audit chain ties it all together.
 	if err := sys.Audit().Verify(); err != nil {

@@ -1,0 +1,135 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestQueueBound(t *testing.T) {
+	c := New(Options{MaxPending: 2})
+	r1, err := c.Admit("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Admit("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit("p"); !errors.Is(err, ErrQueueFull) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third admit err = %v, want ErrQueueFull wrapping ErrOverloaded", err)
+	}
+	st := c.Snapshot()
+	if st.Depth != 2 || st.PeakDepth != 2 || st.Admitted != 2 || st.RejectedQueue != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r1(3 * time.Millisecond)
+	if _, err := c.Admit("p"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r2(5 * time.Millisecond)
+	st = c.Snapshot()
+	if st.Depth != 1 || st.Completed != 2 {
+		t.Fatalf("stats after releases = %+v", st)
+	}
+	if st.LatencyTotal != 8*time.Millisecond || st.LatencyMax != 5*time.Millisecond {
+		t.Fatalf("latency counters = total %v max %v", st.LatencyTotal, st.LatencyMax)
+	}
+}
+
+func TestUnboundedNeverRejectsOnDepth(t *testing.T) {
+	c := New(Options{})
+	for i := 0; i < 100; i++ {
+		if _, err := c.Admit("p"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	st := c.Snapshot()
+	if st.Depth != 100 || st.PeakDepth != 100 || st.Rejected() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	clk := simclock.NewSim(simclock.Epoch)
+	c := New(Options{Clock: clk})
+	c.SetPurposeLimit("scoring", 10, 2) // 10/sec, burst 2
+
+	// The bucket starts full: the burst is admitted, the next is not.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Admit("scoring"); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	if _, err := c.Admit("scoring"); !errors.Is(err, ErrRateLimited) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-burst err = %v, want ErrRateLimited wrapping ErrOverloaded", err)
+	}
+
+	// 100ms at 10/sec refills exactly one token.
+	clk.Advance(100 * time.Millisecond)
+	if _, err := c.Admit("scoring"); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	if _, err := c.Admit("scoring"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second post-refill admit err = %v", err)
+	}
+
+	// Refill caps at the burst, no matter how long the idle gap.
+	clk.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Admit("scoring"); err != nil {
+			t.Fatalf("capped-burst admit %d: %v", i, err)
+		}
+	}
+	if _, err := c.Admit("scoring"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-capped-burst err = %v", err)
+	}
+
+	// Other purposes are unlimited.
+	if _, err := c.Admit("other"); err != nil {
+		t.Fatalf("unlimited purpose: %v", err)
+	}
+	st := c.Snapshot()
+	if st.RejectedRate != 3 {
+		t.Fatalf("RejectedRate = %d, want 3", st.RejectedRate)
+	}
+}
+
+func TestQueueRejectionKeepsToken(t *testing.T) {
+	clk := simclock.NewSim(simclock.Epoch)
+	c := New(Options{MaxPending: 1, Clock: clk})
+	c.SetPurposeLimit("p", 1, 1)
+	rel, err := c.Admit("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket refills while the queue is full; the queue rejection must not
+	// consume the refilled token.
+	clk.Advance(2 * time.Second)
+	if _, err := c.Admit("p"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full-queue err = %v, want ErrQueueFull", err)
+	}
+	rel(0)
+	if _, err := c.Admit("p"); err != nil {
+		t.Fatalf("admit after drain should spend the kept token: %v", err)
+	}
+}
+
+func TestRemoveLimit(t *testing.T) {
+	c := New(Options{Clock: simclock.NewSim(simclock.Epoch)})
+	c.SetPurposeLimit("p", 1, 1)
+	if _, err := c.Admit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit("p"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v", err)
+	}
+	c.SetPurposeLimit("p", 0, 0) // rate <= 0 removes the bucket
+	for i := 0; i < 10; i++ {
+		if _, err := c.Admit("p"); err != nil {
+			t.Fatalf("admit %d after removal: %v", i, err)
+		}
+	}
+}

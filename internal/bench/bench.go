@@ -90,6 +90,7 @@ func Registry() []Experiment {
 		{ID: "SC1", Title: "Subject-sharded DBFS + concurrent DED executor scaling", Paper: "§2 DED model, scaled (north star)", Run: runSC1},
 		{ID: "SC2", Title: "WAL group-commit x per-shard FS: concurrent insert throughput", Paper: "§3 DBFS storage stack, scaled (north star)", Run: runSC2},
 		{ID: "SC3", Title: "Membrane cache x parallel rights: read-path throughput", Paper: "§3 ded_load_membrane cost, scaled (north star)", Run: runSC3},
+		{ID: "SC4", Title: "Admission control: goodput/rejects/p99 past saturation", Paper: "heavy-traffic enforcement, scaled (north star)", Run: runSC4},
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/audit"
 	"repro/internal/blockdev"
 	"repro/internal/builtins"
@@ -90,6 +91,14 @@ type Options struct {
 	// all shards): 0 = the dbfs default, negative disables the cache —
 	// the ablation configuration SC3 compares against.
 	MembraneCache int
+	// AdmissionQueue bounds how many non-maintenance ps_invoke requests
+	// may be admitted (queued or running) at once; the excess is rejected
+	// with admission.ErrOverloaded instead of queueing without bound —
+	// the "heavy traffic" protection SC4 measures. Zero means unbounded
+	// admission: the controller still tracks depth, latency and
+	// per-purpose rate limits (ps.SetRateLimit, refilled off Clock), it
+	// just never rejects on depth.
+	AdmissionQueue int
 }
 
 func (o *Options) withDefaults() {
@@ -277,6 +286,10 @@ func Boot(opts Options) (*System, error) {
 	s.acq = builtins.NewAcquirer(s.ded, s.sources, s.log)
 	s.ps = ps.New(s.ded, s.log, s.acq.Acquire)
 	s.ps.SetDefaultWorkers(opts.Workers)
+	s.ps.ConfigureAdmission(admission.New(admission.Options{
+		MaxPending: opts.AdmissionQueue,
+		Clock:      opts.Clock,
+	}))
 	if err := builtins.Register(s.ps); err != nil {
 		return nil, fmt.Errorf("core: builtins: %w", err)
 	}

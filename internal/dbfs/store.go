@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cryptoshred"
 	"repro/internal/inode"
@@ -89,6 +91,16 @@ type formatEntry struct {
 // keeps the modulo cheap.
 const numShards = 64
 
+// NumShards is the size of the subject-shard lock table, exported so
+// shard-scoped callers (the rights engine's retention due-index) can size
+// their own per-shard state congruently.
+const NumShards = numShards
+
+// ShardOf reports the subject-shard index a subject ID hashes to. The
+// hash is a pure function of the ID, so the mapping is stable across
+// stores and remounts.
+func ShardOf(subjectID string) uint32 { return shardIndex(subjectID) }
+
 // Store is the mounted DBFS. All methods demand an LSM token carrying
 // CapDBFS. Safe for concurrent use.
 //
@@ -134,6 +146,20 @@ type Store struct {
 	// disabled. Maintained under the shard locks, so readers can never
 	// observe a membrane older than the last committed mutation.
 	mcache *membraneCache
+
+	// expiryNote, when set, observes the retention deadline
+	// (CreatedAt+TTL) of every membrane as it is persisted — the feed for
+	// the rights engine's deadline-aware sweeper. Set once via
+	// SetExpiryNotifier before concurrent use; called under the subject's
+	// shard write lock, so it must be fast and must not call back into
+	// the store.
+	expiryNote func(subjectID string, expiry time.Time)
+
+	// scanLocks counts, per subject shard, the shard-lock passes taken by
+	// subject-scoped scans (ListBySubject and batched membrane fetches).
+	// The retention sweeper's skip-untouched-shards property is asserted
+	// against these counters.
+	scanLocks [numShards]atomic.Uint64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -418,6 +444,36 @@ func (s *Store) Stats() Stats {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.mcache.counters()
 	}
 	return st
+}
+
+// SetExpiryNotifier registers fn to observe the retention deadline
+// (CreatedAt+TTL) of every membrane DBFS persists — inserts and membrane
+// rewrites alike. Only membranes with a TTL are reported. fn runs under
+// the subject's shard write lock: it must be fast and must not call back
+// into the store. Register before concurrent use; the rights engine wires
+// its retention due-index here at boot.
+func (s *Store) SetExpiryNotifier(fn func(subjectID string, expiry time.Time)) {
+	s.expiryNote = fn
+}
+
+// noteExpiry reports a freshly persisted membrane's retention deadline to
+// the notifier; caller holds the subject's shard write lock.
+func (s *Store) noteExpiry(m *membrane.Membrane) {
+	if s.expiryNote != nil && m.TTL > 0 && !m.CreatedAt.IsZero() {
+		s.expiryNote(m.SubjectID, m.CreatedAt.Add(m.TTL))
+	}
+}
+
+// ShardScans reports, per subject shard, how many shard-locked scan
+// passes (ListBySubject calls and per-shard GetMembranes groups) have
+// touched it. A shard the retention sweeper skipped shows an unchanged
+// counter — the observable form of "no due records ⇒ no shard lock".
+func (s *Store) ShardScans() [NumShards]uint64 {
+	var out [NumShards]uint64
+	for i := range s.scanLocks {
+		out[i] = s.scanLocks[i].Load()
+	}
+	return out
 }
 
 // ConfigureMembraneCache resizes (or disables) the decoded-membrane cache:
@@ -784,6 +840,7 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 		// write-through costs one clone and first reads decode nothing.
 		s.mcache.writeThrough(sr.idx, pdid, m)
 	}
+	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.Inserts++ })
 	return pdid, nil
 }
@@ -892,6 +949,7 @@ func (s *Store) GetMembranes(tok *lsm.Token, pdids []string) ([]*membrane.Membra
 	for shard, items := range groups {
 		sr := s.shardAt(shard)
 		sr.lk.RLock()
+		s.scanLocks[sr.idx].Add(1)
 		for _, it := range items {
 			m, err := s.getMembraneLocked(sr, it.r)
 			if err != nil {
@@ -985,6 +1043,7 @@ func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) erro
 	if s.mcache != nil {
 		s.mcache.writeThrough(sr.idx, r.pdid, m)
 	}
+	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
 	return nil
 }
@@ -1273,6 +1332,7 @@ func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error
 	sr := s.shardOf(subjectID)
 	sr.lk.RLock()
 	defer sr.lk.RUnlock()
+	s.scanLocks[sr.idx].Add(1)
 	subjIno, err := sr.fs.Lookup(sr.subjRoot, subjectID)
 	if errors.Is(err, inode.ErrChildNotFound) {
 		return nil, nil

@@ -20,6 +20,11 @@ import (
 type BatchItem struct {
 	Res *Result
 	Err error
+	// Rejected marks an invocation shed by admission control before it
+	// reached the DED (Err wraps admission.ErrOverloaded): deliberate
+	// load shedding the caller may retry, not a processing failure — and
+	// never a silent drop, since the rejected slot keeps its position.
+	Rejected bool
 }
 
 // RunBatch executes the invocations on a pool of workers goroutines, each
@@ -27,6 +32,15 @@ type BatchItem struct {
 // workers value below one, or above the batch size, is clamped. Failures
 // are per-invocation: one failing run never aborts its siblings.
 func (d *DED) RunBatch(invs []Invocation, workers int) []BatchItem {
+	return d.RunBatchFunc(invs, workers, nil)
+}
+
+// RunBatchFunc is RunBatch with a per-invocation completion hook: when
+// non-nil, onDone(i, item) runs on the executing worker the moment
+// invocation i completes, before the batch returns. The Processing Store
+// uses it to release each request's admission-queue slot at its true
+// completion instant rather than at the end of the whole batch.
+func (d *DED) RunBatchFunc(invs []Invocation, workers int, onDone func(i int, item BatchItem)) []BatchItem {
 	out := make([]BatchItem, len(invs))
 	if len(invs) == 0 {
 		return out
@@ -37,9 +51,15 @@ func (d *DED) RunBatch(invs []Invocation, workers int) []BatchItem {
 	if workers > len(invs) {
 		workers = len(invs)
 	}
+	run := func(i int) {
+		out[i].Res, out[i].Err = d.Run(invs[i])
+		if onDone != nil {
+			onDone(i, out[i])
+		}
+	}
 	if workers == 1 {
-		for i, inv := range invs {
-			out[i].Res, out[i].Err = d.Run(inv)
+		for i := range invs {
+			run(i)
 		}
 		return out
 	}
@@ -50,7 +70,7 @@ func (d *DED) RunBatch(invs []Invocation, workers int) []BatchItem {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i].Res, out[i].Err = d.Run(invs[i])
+				run(i)
 			}
 		}()
 	}

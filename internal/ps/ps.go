@@ -19,7 +19,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/audit"
 	"repro/internal/ded"
 	"repro/internal/purpose"
@@ -125,6 +127,18 @@ type Store struct {
 	// defaultWorkers is the executor pool size InvokeBatch falls back to
 	// when the caller passes workers <= 0; set by the kernel at boot.
 	defaultWorkers int
+	// adm is the admission controller gating non-maintenance invokes;
+	// nil means no admission control (everything is admitted, nothing is
+	// counted). Set once at boot via ConfigureAdmission.
+	adm *admission.Controller
+}
+
+// Stats is a snapshot of Processing Store load counters: how many
+// invocations ran, and — when an admission controller is configured — the
+// queue depth, rejection and latency counters of the admission gate.
+type Stats struct {
+	Invocations uint64
+	Admission   admission.Stats
 }
 
 // New wires a Processing Store to its DED instance. acquire may be nil if
@@ -150,6 +164,62 @@ func (s *Store) DefaultWorkers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.defaultWorkers
+}
+
+// ConfigureAdmission installs the admission controller gating Invoke and
+// InvokeBatch. Admission applies at submission time to non-maintenance
+// requests; maintenance invocations (rights execution — a legal
+// obligation) are never shed. Passing nil removes admission control.
+func (s *Store) ConfigureAdmission(c *admission.Controller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adm = c
+}
+
+// SetRateLimit installs a token-bucket rate limit (ratePerSec, burst) for
+// one purpose, keyed by the purpose registry: the purpose must name a
+// registered processing, so limits cannot silently target a typo. A rate
+// <= 0 removes the limit. Requires a configured admission controller.
+func (s *Store) SetRateLimit(purposeName string, ratePerSec, burst float64) error {
+	s.mu.Lock()
+	c := s.adm
+	_, known := s.procs[purposeName]
+	s.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("ps: rate limit for %q: no admission controller configured", purposeName)
+	}
+	if !known {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, purposeName)
+	}
+	c.SetPurposeLimit(purposeName, ratePerSec, burst)
+	return nil
+}
+
+// Stats snapshots the load counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{Invocations: s.invoked}
+	c := s.adm
+	s.mu.Unlock()
+	if c != nil {
+		st.Admission = c.Snapshot()
+	}
+	return st
+}
+
+// admit runs the admission gate for one request. It returns a non-nil
+// release exactly when the request was admitted by a configured
+// controller; the caller must invoke release once with the request's
+// completion latency. A nil, nil return means "no admission control
+// applies" (no controller, or a maintenance request).
+func (s *Store) admit(req InvokeRequest) (func(time.Duration), error) {
+	s.mu.Lock()
+	c := s.adm
+	s.mu.Unlock()
+	if c == nil || req.Maintenance {
+		return nil, nil
+	}
+	return c.Admit(req.Processing)
 }
 
 // Register is ps_register. It validates the declaration, requires the
@@ -396,8 +466,20 @@ func (s *Store) finish(p *Processing, res *ded.Result) {
 	}
 }
 
-// Invoke is ps_invoke.
+// Invoke is ps_invoke. When an admission controller is configured the
+// request passes the admission gate first (queue bound, then the
+// purpose's token bucket); a rejection returns an error wrapping
+// admission.ErrOverloaded without touching the DED.
 func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
+	release, err := s.admit(req)
+	if err != nil {
+		return nil, err
+	}
+	var start time.Time
+	if release != nil {
+		start = time.Now()
+		defer func() { release(time.Since(start)) }()
+	}
 	p, inv, err := s.prepare(req)
 	if err != nil {
 		return nil, err
@@ -410,13 +492,20 @@ func (s *Store) Invoke(req InvokeRequest) (*ded.Result, error) {
 	return res, nil
 }
 
-// InvokeBatch is the concurrent form of ps_invoke: the requests are
-// validated and collection-initialized one by one (approval state and
-// maintenance rules apply exactly as in Invoke), then the admitted
-// invocations run on the DED's worker-pool executor. Outcomes keep request
-// order and are per-request — one failure never aborts its siblings. Every
-// successful run still passes the dynamic purpose check and counts toward
-// Invocations.
+// InvokeBatch is the concurrent form of ps_invoke: the requests pass the
+// admission gate and are validated and collection-initialized one by one,
+// in request order (approval state and maintenance rules apply exactly as
+// in Invoke), then the admitted invocations run on a worker pool through
+// the DED. Outcomes keep request order and are per-request — one failure
+// never aborts its siblings, and an admission rejection is a typed outcome
+// (Rejected set, Err wrapping admission.ErrOverloaded), never a silent
+// drop. Every successful run still passes the dynamic purpose check and
+// counts toward Invocations.
+//
+// The whole batch is admitted up front: a batch is a burst arrival, so a
+// batch larger than the admission queue's free capacity sheds its tail.
+// Each admitted request occupies queue depth from submission until its
+// invocation completes.
 func (s *Store) InvokeBatch(reqs []InvokeRequest, workers int) []ded.BatchItem {
 	if workers <= 0 {
 		s.mu.Lock()
@@ -427,24 +516,56 @@ func (s *Store) InvokeBatch(reqs []InvokeRequest, workers int) []ded.BatchItem {
 		}
 	}
 	out := make([]ded.BatchItem, len(reqs))
-	procs := make([]*Processing, len(reqs))
-	invs := make([]ded.Invocation, 0, len(reqs))
-	idx := make([]int, 0, len(reqs)) // batch position of each admitted request
+	type job struct {
+		i       int
+		p       *Processing
+		inv     ded.Invocation
+		release func(time.Duration)
+		start   time.Time
+	}
+	jobs := make([]job, 0, len(reqs))
 	for i, req := range reqs {
+		release, err := s.admit(req)
+		if err != nil {
+			out[i] = ded.BatchItem{Err: err, Rejected: true}
+			continue
+		}
+		var start time.Time
+		if release != nil {
+			start = time.Now()
+		}
 		p, inv, err := s.prepare(req)
 		if err != nil {
+			if release != nil {
+				release(time.Since(start))
+			}
 			out[i].Err = err
 			continue
 		}
-		procs[i] = p
-		invs = append(invs, inv)
-		idx = append(idx, i)
+		jobs = append(jobs, job{i: i, p: p, inv: inv, release: release, start: start})
 	}
-	for j, item := range s.d.RunBatch(invs, workers) {
-		i := idx[j]
-		out[i] = item
+	if len(jobs) == 0 {
+		return out
+	}
+	// The DED executor runs the admitted invocations; the completion hook
+	// releases each request's admission slot the moment it finishes, so
+	// queue depth stays truthful. The dynamic purpose check and the
+	// invocation count run afterwards in request order, so alert IDs and
+	// audit entries for a batch stay deterministic exactly as in the
+	// serial path.
+	invs := make([]ded.Invocation, len(jobs))
+	for j, jb := range jobs {
+		invs[j] = jb.inv
+	}
+	items := s.d.RunBatchFunc(invs, workers, func(j int, _ ded.BatchItem) {
+		if jobs[j].release != nil {
+			jobs[j].release(time.Since(jobs[j].start))
+		}
+	})
+	for j, item := range items {
+		out[jobs[j].i] = item
 		if item.Err == nil {
-			s.finish(procs[i], item.Res)
+			s.finish(jobs[j].p, item.Res)
 		}
 	}
 	return out

@@ -44,14 +44,29 @@ type Engine struct {
 
 	mu      sync.Mutex
 	workers int // 0 = follow ps.DefaultWorkers
+
+	// due is the retention due-index (see sweeper.go), fed by the DBFS
+	// expiry notifier; sweepMu serializes whole sweep passes (manual
+	// SweepExpired calls and background Sweeper passes alike); swept
+	// records whether the priming full pass has completed.
+	due     *dueIndex
+	sweepMu sync.Mutex
+	swept   bool
+	// sweepScanHook, when set (tests only), runs between a sweep pass's
+	// scan and delete phases.
+	sweepScanHook func()
 }
 
-// New wires a rights engine.
+// New wires a rights engine. It registers the engine's retention
+// due-index as the store's expiry notifier, so every membrane written
+// from here on feeds the deadline-aware sweeper.
 func New(p *ps.Store, d *ded.DED, log *audit.Log, clock simclock.Clock) *Engine {
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	return &Engine{ps: p, d: d, log: log, clock: clock}
+	e := &Engine{ps: p, d: d, log: log, clock: clock, due: &dueIndex{}}
+	d.Store().SetExpiryNotifier(e.due.note)
+	return e
 }
 
 // SetWorkers overrides the per-record fan-out width of the cross-record
@@ -443,69 +458,21 @@ func (e *Engine) Restrict(pdid string, restricted bool) error {
 	return err
 }
 
-// SweepExpired walks every record and physically deletes those whose TTL
-// elapsed — the storage-limitation duty ("the time to live ... can be used
-// to implement the right to be forgotten", §2). It returns the deleted
-// pdids, sorted.
+// SweepExpired physically deletes every record whose TTL elapsed — the
+// storage-limitation duty ("the time to live ... can be used to implement
+// the right to be forgotten", §2). It returns the deleted pdids, sorted.
 //
-// The sweep runs in two parallel phases: a read-only scan fans subjects out
-// over the worker pool (each subject's membrane fetches are one cached DBFS
-// batch), then the expired records are deleted as one ps.InvokeBatch on the
-// DED executor. On a delete failure the successfully deleted pdids are
-// still returned alongside the first (request-ordered) error, matching the
-// serial engine's partial-progress contract.
+// Since PR 4 the sweep is deadline-aware: the first call is a priming
+// pass that scans every subject and seeds the retention due-index; later
+// calls are scoped — they consult the index and scan only subjects with a
+// deadline actually due, so shards with no due records take no shard lock
+// (see sweeper.go, and StartSweeper for the background ticker form). The
+// scan fans out over the worker pool, the expired records are deleted as
+// one maintenance ps.InvokeBatch on the DED executor, and on a delete
+// failure the successfully deleted pdids are still returned alongside the
+// first error while the failed record's deadline is re-armed for the next
+// pass.
 func (e *Engine) SweepExpired() ([]string, error) {
-	store, tok := e.d.Store(), e.d.Token()
-	subjects, err := store.Subjects(tok)
-	if err != nil {
-		return nil, fmt.Errorf("rights: sweep: %w", err)
-	}
-	now := e.clock.Now()
-	workers := e.workerCount()
-	expired := make([][]string, len(subjects))
-	err = forEachIndexed(len(subjects), workers, func(i int) error {
-		pdids, err := store.ListBySubject(tok, subjects[i])
-		if err != nil {
-			return err
-		}
-		ms, err := store.GetMembranes(tok, pdids)
-		if err != nil {
-			return err
-		}
-		for j, m := range ms {
-			if m.ExpiredAt(now) {
-				expired[i] = append(expired[i], pdids[j])
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("rights: sweep: %w", err)
-	}
-	var targets []string
-	for _, list := range expired {
-		targets = append(targets, list...)
-	}
-	reqs := make([]ps.InvokeRequest, len(targets))
-	for i, pdid := range targets {
-		reqs[i] = ps.InvokeRequest{
-			Processing:  builtins.DeleteName,
-			PDRef:       pdid,
-			Maintenance: true,
-		}
-	}
-	var deleted []string
-	var firstErr error
-	for i, item := range e.ps.InvokeBatch(reqs, workers) {
-		if item.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rights: sweep %s: %w", targets[i], item.Err)
-			}
-			continue
-		}
-		e.d.Ledger().Forget(targets[i])
-		deleted = append(deleted, targets[i])
-	}
-	sort.Strings(deleted)
-	return deleted, firstErr
+	deleted, _, err := e.sweepOnce()
+	return deleted, err
 }

@@ -92,3 +92,70 @@ func TestRealClockProgresses(t *testing.T) {
 		t.Fatalf("Real clock went backwards: %v then %v", a, b)
 	}
 }
+
+func TestSimWaitUntilPastDeadlineReturnsImmediately(t *testing.T) {
+	s := NewSim(Epoch)
+	if !s.WaitUntil(Epoch, nil) {
+		t.Fatal("WaitUntil(now) = false, want true")
+	}
+	if !s.WaitUntil(Epoch.Add(-time.Hour), nil) {
+		t.Fatal("WaitUntil(past) = false, want true")
+	}
+}
+
+func TestSimWaitUntilWokenByAdvance(t *testing.T) {
+	s := NewSim(Epoch)
+	deadline := Epoch.Add(time.Minute)
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitUntil(deadline, nil) }()
+	// An advance short of the deadline must not wake the waiter.
+	s.Advance(30 * time.Second)
+	select {
+	case got := <-done:
+		t.Fatalf("woke early: %t", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Advance(30 * time.Second) // exactly the deadline
+	select {
+	case got := <-done:
+		if !got {
+			t.Fatal("WaitUntil = false, want true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntil not woken by Advance to its deadline")
+	}
+}
+
+func TestSimWaitUntilCancel(t *testing.T) {
+	s := NewSim(Epoch)
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitUntil(Epoch.Add(time.Hour), cancel) }()
+	close(cancel)
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("cancelled WaitUntil = true, want false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntil did not observe cancel")
+	}
+	// The cancelled waiter must be deregistered: Advance finds no stale
+	// entry (would close a closed channel and panic).
+	s.Advance(2 * time.Hour)
+}
+
+func TestRealWaitUntil(t *testing.T) {
+	var r Real
+	if !r.WaitUntil(time.Now().Add(-time.Second), nil) {
+		t.Fatal("past deadline = false, want true")
+	}
+	if !r.WaitUntil(time.Now().Add(5*time.Millisecond), nil) {
+		t.Fatal("short wait = false, want true")
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if r.WaitUntil(time.Now().Add(time.Hour), cancel) {
+		t.Fatal("cancelled wait = true, want false")
+	}
+}
