@@ -8,8 +8,9 @@
 // one machine's maximum), so the gate is portable across runners with
 // different sleep granularity. What it protects are the headline scaling
 // properties: SC2's group-commit + per-shard-FS insert speedup, SC3's
-// membrane-cache read speedup plus the parallel rights-engine scaling, and
-// SC4's admission-controlled goodput ratio past saturation.
+// membrane-cache read speedup plus the parallel rights-engine scaling,
+// SC4's admission-controlled goodput ratio past saturation, and SC5's
+// actor-core contention speedup plus the block cache's read absorption.
 //
 // A baseline entry with no generated result — or a generated result with no
 // baseline entry — is a configuration error (exit 2) named after the
@@ -141,6 +142,37 @@ func gateSC4(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress 
 		base.Summary.ControlledGoodputRatio, cur.Summary.ControlledGoodputRatio, maxRegress)
 }
 
+// gateSC5 compares the intra-shard storage-core headline metrics: the
+// actor-vs-serial contention speedup and the buffer cache's hot re-read
+// absorption ratio.
+func gateSC5(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC5Report
+	if err := decodeReport(baseRaw, "baseline", "SC5", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC5", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC5" || len(base.Rows) == 0 || cur.Experiment != "SC5" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC5: malformed report (baseline or %s)", curPath)
+	}
+	ok := true
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"contention_speedup", base.Summary.ContentionSpeedup, cur.Summary.ContentionSpeedup},
+		{"read_absorption", base.Summary.ReadAbsorption, cur.Summary.ReadAbsorption},
+	} {
+		mok, err := checkFloor(out, "SC5", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
+	}
+	return ok, nil
+}
+
 func decodeReport(raw json.RawMessage, src, exp string, v any) error {
 	if err := json.Unmarshal(raw, v); err != nil {
 		return confErrf("experiment %s: decode %s entry: %v", exp, src, err)
@@ -165,6 +197,7 @@ var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, 
 	"SC2": gateSC2,
 	"SC3": gateSC3,
 	"SC4": gateSC4,
+	"SC5": gateSC5,
 }
 
 // run executes the whole gate. It returns nil when every gated metric

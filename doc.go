@@ -3,10 +3,22 @@
 // arXiv:2205.10929).
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory, the storage commit path, the membrane read path, and the
-// admission-and-deadlines story), the runnable entry points under cmd/
-// and examples/, and the benchmark harness in bench_test.go plus
-// cmd/benchfig, whose registry regenerates every reproduced artifact and
-// the SC1-SC4 scaling experiments; cmd/benchgate holds CI to the
-// checked-in BENCH_baseline.json floors.
+// inventory, the storage commit path, the membrane read path, the
+// admission-and-deadlines story, and the actor FS core + block buffer
+// cache), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness in bench_test.go plus cmd/benchfig, whose registry
+// regenerates every reproduced artifact and the SC1-SC5 scaling
+// experiments; cmd/benchgate holds CI to the checked-in
+// BENCH_baseline.json floors.
+//
+// References:
+//
+//   - Tchana et al., "rgpdOS: GDPR Enforcement By The Operating System",
+//     DSN 2023 (arXiv:2205.10929) — the reproduced paper.
+//   - Cutler, Kaashoek, Morris, "The benefits and costs of writing a
+//     POSIX kernel in a high-level language", OSDI 2018 — Biscuit, the
+//     model for internal/inode's per-inode daemon actors and
+//     internal/blockdev's write-back buffer cache.
+//   - ext3/JBD2 journaling — the model for internal/wal's group commit
+//     (multi-transaction commit records sealed by one flush barrier).
 package repro

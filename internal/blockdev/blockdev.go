@@ -47,6 +47,12 @@ type Stats struct {
 	BytesWritten uint64
 	// SimLatency is the total simulated device time consumed.
 	SimLatency time.Duration
+	// Cache-visible counters, filled in by the Cached wrapper's Stats()
+	// (see bcache.go); always zero on raw devices.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	Writebacks     uint64
 }
 
 // LatencyModel assigns simulated costs to device operations. The defaults

@@ -91,6 +91,11 @@ type Options struct {
 	// all shards): 0 = the dbfs default, negative disables the cache —
 	// the ablation configuration SC3 compares against.
 	MembraneCache int
+	// BlockCache bounds each inode filesystem instance's shared write-back
+	// block buffer cache (in blocks): 0 = the inode default
+	// (inode.DefaultCacheBlocks), negative disables the cache — the
+	// ablation configuration SC5 compares against.
+	BlockCache int
 	// AdmissionQueue bounds how many non-maintenance ps_invoke requests
 	// may be admitted (queued or running) at once; the excess is rejected
 	// with admission.ErrOverloaded instead of queueing without bound —
@@ -248,6 +253,7 @@ func Boot(opts Options) (*System, error) {
 		Clock:         opts.Clock,
 		CommitWindow:  opts.CommitWindow,
 		GroupMaxBatch: opts.GroupCommitMaxBatch,
+		CacheBlocks:   opts.BlockCache,
 	}
 	s.pdFSs = make([]*inode.FS, opts.FSInstances)
 	if opts.FSInstances == 1 {

@@ -75,6 +75,14 @@ type Stats struct {
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheEvictions uint64
+
+	// Block buffer cache counters, summed across every backing filesystem
+	// instance's blockdev.Cached wrapper; all zero when the block cache is
+	// disabled.
+	BlockCacheHits      uint64
+	BlockCacheMisses    uint64
+	BlockCacheEvictions uint64
+	BlockWritebacks     uint64
 }
 
 // formatEntry is one row of the format tree: the session-loaded descriptor
@@ -442,6 +450,13 @@ func (s *Store) Stats() Stats {
 	s.statsMu.Unlock()
 	if s.mcache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.mcache.counters()
+	}
+	for _, fs := range s.fss {
+		ds := fs.CacheStats()
+		st.BlockCacheHits += ds.CacheHits
+		st.BlockCacheMisses += ds.CacheMisses
+		st.BlockCacheEvictions += ds.CacheEvictions
+		st.BlockWritebacks += ds.Writebacks
 	}
 	return st
 }

@@ -449,6 +449,28 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+// TestBlockCacheCountersSurface proves the per-instance block buffer cache
+// counters flow through to dbfs.Stats: a formatted FS defaults to a cache,
+// and any record traffic must register hits and write-backs.
+func TestBlockCacheCountersSurface(t *testing.T) {
+	e := newEnv(t)
+	e.mustCreateUser(t)
+	pdid, err := e.store.Insert(e.tok, "user", "alice", aliceRecord(), nil)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := e.store.GetRecord(e.tok, pdid); err != nil {
+		t.Fatalf("GetRecord: %v", err)
+	}
+	s := e.store.Stats()
+	if s.BlockCacheHits == 0 {
+		t.Fatalf("BlockCacheHits = 0; block cache not wired into stats: %+v", s)
+	}
+	if s.BlockWritebacks == 0 {
+		t.Fatalf("BlockWritebacks = 0 after journaled inserts: %+v", s)
+	}
+}
+
 func TestPerSubjectIsolation(t *testing.T) {
 	// Records of different subjects live in different inode subtrees and
 	// under different keys: erasing alice leaves bob intact.

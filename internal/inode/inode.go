@@ -9,6 +9,14 @@
 // (internal/dbfs) and the traditional file-based filesystem
 // (internal/plainfs) are built on it.
 //
+// Concurrency follows Biscuit's filesystem: each live inode is owned by a
+// daemon goroutine (an actor) serving requests over a channel, so operations
+// on different inodes run in parallel while operations on one inode
+// serialize without any big lock. A shared write-back block buffer cache
+// (blockdev.Cached) sits between the actors (and the journal's checkpoint
+// writes) and the device, absorbing repeated block reads. See DESIGN.md
+// "Actor FS core & buffer cache".
+//
 // Deliberate realism: freeing an inode releases its blocks but does NOT zero
 // them, and every mutation's pre-/post-images flow through the journal. Both
 // behaviours match production filesystems and are exactly why a file-based
@@ -22,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockdev"
@@ -86,6 +95,11 @@ const (
 	// transaction carries during large writes; bigger writes are split
 	// into multiple transactions.
 	blocksPerTxnChunk = 64
+
+	// DefaultCacheBlocks is the buffer-cache capacity (in blocks) used
+	// when Options.CacheBlocks is zero. 512 blocks = 2 MiB per FS
+	// instance.
+	DefaultCacheBlocks = 512
 )
 
 // Sentinel errors.
@@ -161,6 +175,11 @@ type Options struct {
 	// GroupMaxBatch bounds transactions per commit group (0 = the wal
 	// default, 1 disables group commit).
 	GroupMaxBatch int
+	// CacheBlocks bounds the shared write-back block buffer cache placed
+	// between the inode layer (journal included) and the device, in
+	// blocks. 0 selects DefaultCacheBlocks; negative disables the cache
+	// entirely (the SC5 ablation baseline).
+	CacheBlocks int
 }
 
 func (o *Options) withDefaults() {
@@ -178,28 +197,55 @@ func (o *Options) withDefaults() {
 // FS is a mounted inode filesystem. All methods are safe for concurrent
 // use.
 //
-// Locking and durability: helpers suffixed *Locked require fs.mu — holding
-// it is part of their contract, and the suffix is deliberate so a future
-// lock split cannot silently call them unlocked. Mutating methods stage a
-// journal transaction under fs.mu, enqueue it, RELEASE the lock, and only
-// then wait for the commit group to become durable. fs.mu therefore covers
-// staging but not device flushing, which lets concurrent writers coalesce
-// into WAL commit groups; reads go through the journal's in-flight overlay
-// (wal.Log.ReadThrough) so a transaction staged after its predecessor
-// always observes the predecessor's writes even before they checkpoint.
+// Ownership model (Biscuit idaemon style): every operation on an inode runs
+// as a request served by that inode's daemon goroutine, so per-inode state
+// (the working dinode copy, its block pointers, its data blocks) has exactly
+// one writer at a time with no lock held across device I/O. Metadata shared
+// between inodes — the allocation bitmap and the inode table array — is
+// guarded by metaMu; helpers suffixed *Locked require it, and the suffix is
+// deliberate so a call site without the lock reads as wrong in review.
+// metaMu is only ever held for in-memory staging (bitmap scans, table
+// publishes, encoding blocks into a transaction), never across device
+// reads, device writes, or durability waits.
+//
+// Durability: mutations stage a journal transaction under actor ownership,
+// enqueue it inside one metaMu critical section (see mtx.enqueue for why
+// snapshot order must equal enqueue order), and wait for the commit group
+// outside every lock — which is what lets concurrent writers coalesce into
+// WAL commit groups. Reads go through the journal's in-flight overlay
+// (wal.Log.ReadThrough), then the block buffer cache, then the device.
+//
+// Lock ordering: actor ownership (or serialMu in the ablation mode) →
+// metaMu → wal internals → buffer cache. Multi-inode operations acquire
+// actors in ascending inode order only (see exec2), so ownership cycles
+// cannot form.
 type FS struct {
-	dev   blockdev.Device
+	dev   blockdev.Device // I/O path: the buffer cache when enabled, else raw
+	raw   blockdev.Device // the device handed to Format/Mount, below the cache
 	clock simclock.Clock
-
-	mu     sync.Mutex
-	sb     superblock
-	log    *wal.Log
-	bitmap []byte // in-memory block allocation bitmap, one bit per device block
-	itab   []dinode
+	sb    superblock
+	log   *wal.Log
 	// maxChunk bounds data blocks per journal transaction; it is derived
 	// from the journal size so one transaction (data + staged metadata)
 	// always fits the region.
 	maxChunk int
+
+	// metaMu guards the shared metadata mirrors: bitmap, itab, and every
+	// transaction's stage-and-enqueue critical section.
+	metaMu sync.Mutex
+	bitmap []byte // in-memory block allocation bitmap, one bit per device block
+	itab   []dinode
+
+	// actorsMu guards the live-actor registry and each daemon's inflight
+	// count.
+	actorsMu sync.Mutex
+	actors   map[Ino]*idaemon
+
+	// serialOps switches every operation onto one big mutex instead of
+	// the actors — the pre-actor behaviour, kept as a measurable ablation
+	// baseline for SC5.
+	serialOps atomic.Bool
+	serialMu  sync.Mutex
 }
 
 // chunkLimit derives the per-transaction data-block budget from the journal
@@ -215,6 +261,25 @@ func chunkLimit(journalBlocks uint64) int {
 		limit = blocksPerTxnChunk
 	}
 	return limit
+}
+
+// wrapCache places the buffer cache over dev according to opts.CacheBlocks,
+// exempting the journal region (journal blocks are written once and
+// replayed rarely; letting them churn the LRU would evict the hot metadata
+// the cache exists to keep).
+func wrapCache(dev blockdev.Device, cacheBlocks int, sb superblock) (blockdev.Device, error) {
+	if cacheBlocks < 0 {
+		return dev, nil
+	}
+	if cacheBlocks == 0 {
+		cacheBlocks = DefaultCacheBlocks
+	}
+	bc, err := blockdev.NewCached(dev, cacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	bc.SetBypass(sb.JournalStart, sb.JournalBlocks)
+	return bc, nil
 }
 
 // Format initializes dev with an empty filesystem and returns it mounted.
@@ -238,13 +303,19 @@ func Format(dev blockdev.Device, opts Options) (*FS, error) {
 		return nil, fmt.Errorf("%w: device too small (%d blocks, need > %d)", ErrNoSpace, n, sb.DataStart+8)
 	}
 
+	io, err := wrapCache(dev, opts.CacheBlocks, sb)
+	if err != nil {
+		return nil, fmt.Errorf("inode: buffer cache: %w", err)
+	}
 	fs := &FS{
-		dev:      dev,
+		dev:      io,
+		raw:      dev,
 		clock:    opts.Clock,
 		sb:       sb,
 		bitmap:   make([]byte, bitmapBlocks*blockdev.BlockSize),
 		itab:     make([]dinode, sb.NInodes),
 		maxChunk: chunkLimit(sb.JournalBlocks),
+		actors:   make(map[Ino]*idaemon),
 	}
 	// Mark metadata region (everything before DataStart) as allocated.
 	for b := uint64(0); b < sb.DataStart; b++ {
@@ -260,27 +331,27 @@ func Format(dev blockdev.Device, opts Options) (*FS, error) {
 		sb.InodeStart, sb.InodeBlocks, sb.JournalStart, sb.JournalBlocks, sb.DataStart} {
 		binary.LittleEndian.PutUint64(enc[8*i:], v)
 	}
-	if err := dev.WriteBlock(0, buf); err != nil {
+	if err := io.WriteBlock(0, buf); err != nil {
 		return nil, fmt.Errorf("inode: write superblock: %w", err)
 	}
 	// Persist initial bitmap.
 	for i := uint64(0); i < bitmapBlocks; i++ {
-		if err := dev.WriteBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
+		if err := io.WriteBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
 			return nil, fmt.Errorf("inode: write bitmap: %w", err)
 		}
 	}
 	// Persist empty inode table.
 	zero := make([]byte, blockdev.BlockSize)
 	for i := uint64(0); i < inodeBlocks; i++ {
-		if err := dev.WriteBlock(sb.InodeStart+i, zero); err != nil {
+		if err := io.WriteBlock(sb.InodeStart+i, zero); err != nil {
 			return nil, fmt.Errorf("inode: write inode table: %w", err)
 		}
 	}
-	if err := dev.Sync(); err != nil {
+	if err := io.Sync(); err != nil {
 		return nil, fmt.Errorf("inode: sync format: %w", err)
 	}
 
-	log, err := wal.Open(dev, sb.JournalStart, sb.JournalBlocks)
+	log, err := wal.Open(io, sb.JournalStart, sb.JournalBlocks)
 	if err != nil {
 		return nil, fmt.Errorf("inode: open journal: %w", err)
 	}
@@ -299,7 +370,9 @@ func Format(dev blockdev.Device, opts Options) (*FS, error) {
 }
 
 // Mount opens a previously formatted device: it validates the superblock,
-// replays the journal, and loads the allocation bitmap and inode table.
+// replays the journal, and loads the allocation bitmap and inode table. The
+// buffer cache is enabled at DefaultCacheBlocks (Mount predates the cache
+// option and keeps its signature).
 func Mount(dev blockdev.Device, clock simclock.Clock) (*FS, error) {
 	if clock == nil {
 		clock = simclock.Real{}
@@ -323,30 +396,39 @@ func Mount(dev blockdev.Device, clock simclock.Clock) (*FS, error) {
 	sb.JournalStart, sb.JournalBlocks = vals[6], vals[7]
 	sb.DataStart = vals[8]
 
-	log, err := wal.Open(dev, sb.JournalStart, sb.JournalBlocks)
+	io, err := wrapCache(dev, 0, sb)
+	if err != nil {
+		return nil, fmt.Errorf("inode: buffer cache: %w", err)
+	}
+	log, err := wal.Open(io, sb.JournalStart, sb.JournalBlocks)
 	if err != nil {
 		return nil, fmt.Errorf("inode: open journal: %w", err)
 	}
+	// Recovery replays through the cache; wal.Recover ends with a device
+	// Sync, which flushes the replayed home images to the raw device
+	// before Mount returns.
 	if _, err := log.Recover(); err != nil {
 		return nil, fmt.Errorf("inode: journal recovery: %w", err)
 	}
 
 	fs := &FS{
-		dev:      dev,
+		dev:      io,
+		raw:      dev,
 		clock:    clock,
 		sb:       sb,
 		log:      log,
 		bitmap:   make([]byte, sb.BitmapBlocks*blockdev.BlockSize),
 		itab:     make([]dinode, sb.NInodes),
 		maxChunk: chunkLimit(sb.JournalBlocks),
+		actors:   make(map[Ino]*idaemon),
 	}
 	for i := uint64(0); i < sb.BitmapBlocks; i++ {
-		if err := dev.ReadBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
+		if err := io.ReadBlock(sb.BitmapStart+i, fs.bitmap[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize]); err != nil {
 			return nil, fmt.Errorf("inode: read bitmap: %w", err)
 		}
 	}
 	for i := uint64(0); i < sb.InodeBlocks; i++ {
-		if err := dev.ReadBlock(sb.InodeStart+i, buf); err != nil {
+		if err := io.ReadBlock(sb.InodeStart+i, buf); err != nil {
 			return nil, fmt.Errorf("inode: read inode table: %w", err)
 		}
 		for j := 0; j < InodesPerBlock; j++ {
@@ -360,9 +442,10 @@ func Mount(dev blockdev.Device, clock simclock.Clock) (*FS, error) {
 	return fs, nil
 }
 
-// Device returns the underlying block device (used by residue-scanning
-// experiments and by the IO-driver kernel wiring).
-func (fs *FS) Device() blockdev.Device { return fs.dev }
+// Device returns the raw underlying block device, below the buffer cache
+// (used by residue-scanning experiments and by the IO-driver kernel
+// wiring).
+func (fs *FS) Device() blockdev.Device { return fs.raw }
 
 // JournalRegion reports the journal block range for residue attribution.
 func (fs *FS) JournalRegion() (start, length uint64) {
@@ -372,6 +455,11 @@ func (fs *FS) JournalRegion() (start, length uint64) {
 // JournalStats exposes the journal counters.
 func (fs *FS) JournalStats() wal.Stats { return fs.log.Stats() }
 
+// CacheStats reports the device counters as seen through the buffer cache:
+// hit/miss/eviction/writeback counts merged with the underlying device
+// stats. With the cache disabled the cache counters are zero.
+func (fs *FS) CacheStats() blockdev.Stats { return fs.dev.Stats() }
+
 // ConfigureJournal sets the group-commit parameters on a mounted
 // filesystem (see wal.Log.Configure). Format applies Options.CommitWindow
 // and GroupMaxBatch itself; Mount cannot take options without breaking its
@@ -380,6 +468,120 @@ func (fs *FS) JournalStats() wal.Stats { return fs.log.Stats() }
 // before concurrent use.
 func (fs *FS) ConfigureJournal(window time.Duration, maxBatch int) {
 	fs.log.Configure(window, maxBatch)
+}
+
+// SetSerialOps switches the filesystem into the pre-actor ablation mode:
+// every operation's staging phase (device reads included) serializes under
+// one mutex, reproducing the old single-fs.mu behaviour for baseline
+// measurements (SC5). Durability waits still happen outside the lock, as
+// they always did. Switch only while the filesystem is idle.
+func (fs *FS) SetSerialOps(on bool) { fs.serialOps.Store(on) }
+
+// --- actor machinery ---
+
+// idaemon is one live inode's daemon goroutine: requests arrive over ch and
+// are served strictly in order, so the daemon's inode has exactly one
+// mutator at a time. inflight counts requests that have claimed the daemon
+// (ensured) but not yet finished; it is guarded by fs.actorsMu.
+type idaemon struct {
+	ino      Ino
+	ch       chan *ireq
+	inflight int
+}
+
+// ireq is one request to an inode daemon.
+type ireq struct {
+	fn   func()
+	done chan struct{}
+}
+
+// ensure returns ino's daemon, spawning one if the inode has no live actor,
+// and claims one inflight slot so the daemon cannot park before this
+// request is served (Biscuit's idaemon_ensure).
+func (fs *FS) ensure(ino Ino) *idaemon {
+	fs.actorsMu.Lock()
+	d := fs.actors[ino]
+	if d == nil {
+		d = &idaemon{ino: ino, ch: make(chan *ireq)}
+		fs.actors[ino] = d
+		go fs.serve(d)
+	}
+	d.inflight++
+	fs.actorsMu.Unlock()
+	return d
+}
+
+// serve is the daemon loop: serve a request, release its claim, and park
+// (deregister and exit) once no claimed requests remain. Claims are taken
+// under actorsMu before the send, so a parked daemon can never strand a
+// claimant: either the claim lands before the park decision (inflight > 0,
+// the daemon keeps serving) or after the deregistration (the claimant
+// spawns a fresh daemon).
+func (fs *FS) serve(d *idaemon) {
+	for req := range d.ch {
+		req.fn()
+		fs.actorsMu.Lock()
+		d.inflight--
+		parked := d.inflight == 0
+		if parked {
+			if fs.actors[d.ino] == d {
+				delete(fs.actors, d.ino)
+			}
+		}
+		fs.actorsMu.Unlock()
+		// Park bookkeeping happens before the completion signal so a
+		// sequential caller observes a fully drained registry.
+		close(req.done)
+		if parked {
+			return
+		}
+	}
+}
+
+// exec runs fn under ino's actor (or under serialMu in the ablation mode)
+// and returns when it has completed.
+func (fs *FS) exec(ino Ino, fn func()) {
+	if fs.serialOps.Load() {
+		fs.serialMu.Lock()
+		fn()
+		fs.serialMu.Unlock()
+		return
+	}
+	d := fs.ensure(ino)
+	req := &ireq{fn: fn, done: make(chan struct{})}
+	d.ch <- req
+	<-req.done
+}
+
+// exec2 runs fn while holding BOTH inodes' actors. Ownership is always
+// acquired in ascending inode order — the lower actor's request forwards
+// into the higher actor — so a daemon only ever waits on a strictly higher
+// inode and ownership cycles (deadlocks) cannot form, whatever the callers'
+// argument order.
+func (fs *FS) exec2(a, b Ino, fn func()) {
+	if a == b {
+		fs.exec(a, fn)
+		return
+	}
+	if fs.serialOps.Load() {
+		fs.serialMu.Lock()
+		fn()
+		fs.serialMu.Unlock()
+		return
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	fs.exec(lo, func() { fs.exec(hi, fn) })
+}
+
+// LiveActors reports how many inode daemons are currently running (test and
+// introspection hook for the park lifecycle).
+func (fs *FS) LiveActors() int {
+	fs.actorsMu.Lock()
+	defer fs.actorsMu.Unlock()
+	return len(fs.actors)
 }
 
 // --- inode encoding ---
@@ -419,16 +621,64 @@ func decodeInode(in []byte) dinode {
 	return d
 }
 
-// --- block helpers ---
+// --- shared-metadata helpers ---
 //
-// Every helper below is suffixed *Locked: the caller MUST hold fs.mu. The
-// naming is the enforcement mechanism — a call site without the lock reads
-// as wrong in review, and the public API wraps them without exception.
+// Helpers suffixed *Locked require fs.metaMu; everything else here takes
+// and releases it internally. None of them touch the device: metaMu covers
+// in-memory staging only.
 
-// readBlockLocked reads block n, preferring the image buffered in tx (a
+// rangeCheck rejects inode numbers outside the table. The superblock is
+// immutable after mount, so no lock is needed.
+func (fs *FS) rangeCheck(ino Ino) error {
+	if ino == 0 || uint64(ino) >= fs.sb.NInodes {
+		return fmt.Errorf("%w: %d", ErrBadInode, ino)
+	}
+	return nil
+}
+
+// loadInode snapshots ino's table slot. Every table-slot write happens
+// under metaMu, so the copy is taken under it too; within an actor-owned
+// operation the copy is then private until it is published back at enqueue.
+func (fs *FS) loadInode(ino Ino) dinode {
+	fs.metaMu.Lock()
+	d := fs.itab[ino]
+	fs.metaMu.Unlock()
+	return d
+}
+
+// loadAlive snapshots ino's slot and rejects free slots.
+func (fs *FS) loadAlive(ino Ino) (dinode, error) {
+	d := fs.loadInode(ino)
+	if d.Mode == ModeFree {
+		return d, fmt.Errorf("%w: %d is free", ErrBadInode, ino)
+	}
+	return d, nil
+}
+
+// stageItabBlockLocked encodes inode-table block ib wholly from the
+// in-memory table into tx. Unlike the old read-modify-write flush, no
+// device read is needed: the table mirror is authoritative, and because
+// every stage-and-enqueue happens in one metaMu critical section, snapshot
+// order equals commit order — the journal can never flush a newer image of
+// the block before an older one (see mtx.enqueue).
+func (fs *FS) stageItabBlockLocked(tx *wal.Txn, ib uint64) error {
+	buf := make([]byte, blockdev.BlockSize)
+	base := ib * InodesPerBlock
+	for j := uint64(0); j < InodesPerBlock; j++ {
+		idx := base + j
+		if idx >= fs.sb.NInodes {
+			break
+		}
+		encodeInode(fs.itab[idx], buf[j*InodeSize:(j+1)*InodeSize])
+	}
+	return tx.Write(fs.sb.InodeStart+ib, buf)
+}
+
+// readBlock reads block n, preferring the image buffered in tx (a
 // transaction observes its own writes), then any enqueued-but-not-yet-
-// checkpointed image in the journal overlay, then the device.
-func (fs *FS) readBlockLocked(tx *wal.Txn, n uint64, buf []byte) error {
+// checkpointed image in the journal overlay, then the buffer cache, then
+// the device. Runs without locks; the caller owns the relevant inode.
+func (fs *FS) readBlock(tx *wal.Txn, n uint64, buf []byte) error {
 	if tx != nil {
 		if img, ok := tx.Read(n); ok {
 			copy(buf, img)
@@ -438,78 +688,136 @@ func (fs *FS) readBlockLocked(tx *wal.Txn, n uint64, buf []byte) error {
 	return fs.log.ReadThrough(n, buf)
 }
 
-// flushInodeLocked stages inode ino's table block into tx.
-func (fs *FS) flushInodeLocked(tx *wal.Txn, ino Ino) error {
-	idx := uint64(ino)
-	blk := fs.sb.InodeStart + idx/InodesPerBlock
-	buf := make([]byte, blockdev.BlockSize)
-	if err := fs.readBlockLocked(tx, blk, buf); err != nil {
-		return err
-	}
-	off := (idx % InodesPerBlock) * InodeSize
-	encodeInode(fs.itab[idx], buf[off:off+InodeSize])
-	return tx.Write(blk, buf)
+// --- metadata transactions ---
+
+// pub is one working inode copy to publish into the table at enqueue.
+type pub struct {
+	ino Ino
+	d   *dinode
 }
 
-// flushBitmapForLocked stages the bitmap block covering device block b into
-// tx.
-func (fs *FS) flushBitmapForLocked(tx *wal.Txn, b uint64) error {
-	bmBlk := (b / 8) / blockdev.BlockSize
-	start := bmBlk * blockdev.BlockSize
-	return tx.Write(fs.sb.BitmapStart+bmBlk, fs.bitmap[start:start+blockdev.BlockSize])
+// mtx wraps one journal transaction with the deferred shared-metadata
+// bookkeeping that replaces staging under a big lock: block allocations
+// claim their bitmap bit immediately (under a brief metaMu) so no
+// concurrent transaction can hand the same block out twice, while block
+// frees — the direction that can corrupt, not merely leak — are deferred
+// entirely to the enqueue critical section.
+type mtx struct {
+	fs     *FS
+	tx     *wal.Txn
+	allocs []uint64
+	frees  []uint64
 }
 
-// allocBlockLocked finds a free data block, marks it used, and stages the
-// bitmap.
-func (fs *FS) allocBlockLocked(tx *wal.Txn) (uint64, error) {
+func (fs *FS) begin() *mtx { return &mtx{fs: fs, tx: fs.log.Begin()} }
+
+func (m *mtx) readBlock(n uint64, buf []byte) error { return m.fs.readBlock(m.tx, n, buf) }
+
+// alloc claims a free data block. The bit is set in memory now, but the
+// bitmap block is staged only at enqueue and the bit is released again if
+// the transaction aborts. A crash can therefore expose a durable set bit
+// whose transaction never committed — a space leak, never corruption.
+func (m *mtx) alloc() (uint64, error) {
+	fs := m.fs
+	fs.metaMu.Lock()
 	for b := fs.sb.DataStart; b < fs.sb.NBlocks; b++ {
 		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
 			fs.bitmap[b/8] |= 1 << (b % 8)
-			if err := fs.flushBitmapForLocked(tx, b); err != nil {
-				return 0, err
-			}
+			fs.metaMu.Unlock()
+			m.allocs = append(m.allocs, b)
 			return b, nil
 		}
 	}
+	fs.metaMu.Unlock()
 	return 0, ErrNoSpace
 }
 
-// freeBlockLocked clears a block's bitmap bit. The block contents are NOT
-// zeroed — the same residue semantics as ext4.
-func (fs *FS) freeBlockLocked(tx *wal.Txn, b uint64) error {
-	if b < fs.sb.DataStart || b >= fs.sb.NBlocks {
+// free schedules block b for release. Both the in-memory bit clear and the
+// bitmap staging are deferred to enqueue: if the clear were visible
+// earlier, a concurrent transaction could commit a bitmap image showing
+// the block free while the transaction justifying the free is still torn,
+// and a remount would double-allocate the block. The block contents are
+// NOT zeroed — the same residue semantics as ext4.
+func (m *mtx) free(b uint64) error {
+	if b < m.fs.sb.DataStart || b >= m.fs.sb.NBlocks {
 		return fmt.Errorf("inode: freeBlock %d outside data region", b)
 	}
-	fs.bitmap[b/8] &^= 1 << (b % 8)
-	return fs.flushBitmapForLocked(tx, b)
-}
-
-func (fs *FS) checkInoLocked(ino Ino) error {
-	if ino == 0 || uint64(ino) >= fs.sb.NInodes {
-		return fmt.Errorf("%w: %d", ErrBadInode, ino)
-	}
-	if fs.itab[ino].Mode == ModeFree {
-		return fmt.Errorf("%w: %d is free", ErrBadInode, ino)
-	}
+	m.frees = append(m.frees, b)
 	return nil
 }
 
-// commitUnlock enqueues tx, releases fs.mu, and waits for tx's commit
-// group to become durable. The caller must hold fs.mu, must have finished
-// all staging, and must not touch FS state afterwards: the lock is gone by
-// the time the wait starts, which is exactly what lets concurrent writers
-// coalesce into one WAL group.
-func (fs *FS) commitUnlock(tx *wal.Txn) error {
-	tk, err := tx.Enqueue()
-	fs.mu.Unlock()
-	if err != nil || tk == nil {
-		return err
+// enqueue is the commit point of an operation: one metaMu critical section
+// applies the deferred frees, stages every touched bitmap block and inode
+// table block from the in-memory mirrors, publishes the working inode
+// copies, and enqueues the transaction. Fusing snapshot and enqueue makes
+// snapshot order equal commit order: the WAL flushes groups strictly in
+// enqueue order and aborts wholesale on failure, so the newest durable
+// image of a shared block always reflects every earlier published update,
+// and an image captured "too early" by a later transaction can never
+// become durable before its own transaction. On error the deferred frees
+// are rolled back (still allocated, worst case a leak) and the returned
+// error is the operation's outcome.
+func (m *mtx) enqueue(pubs ...pub) (*wal.Ticket, error) {
+	fs := m.fs
+	fs.metaMu.Lock()
+	defer fs.metaMu.Unlock()
+	for _, b := range m.frees {
+		fs.bitmap[b/8] &^= 1 << (b % 8)
 	}
-	return tk.Wait()
+	rollbackFrees := func() {
+		for _, b := range m.frees {
+			fs.bitmap[b/8] |= 1 << (b % 8)
+		}
+	}
+	bmBlocks := make(map[uint64]struct{})
+	for _, b := range m.allocs {
+		bmBlocks[(b/8)/blockdev.BlockSize] = struct{}{}
+	}
+	for _, b := range m.frees {
+		bmBlocks[(b/8)/blockdev.BlockSize] = struct{}{}
+	}
+	for bm := range bmBlocks {
+		start := bm * blockdev.BlockSize
+		if err := m.tx.Write(fs.sb.BitmapStart+bm, fs.bitmap[start:start+blockdev.BlockSize]); err != nil {
+			rollbackFrees()
+			return nil, err
+		}
+	}
+	itabBlocks := make(map[uint64]struct{})
+	for _, p := range pubs {
+		fs.itab[p.ino] = *p.d
+		itabBlocks[uint64(p.ino)/InodesPerBlock] = struct{}{}
+	}
+	for ib := range itabBlocks {
+		if err := fs.stageItabBlockLocked(m.tx, ib); err != nil {
+			rollbackFrees()
+			return nil, err
+		}
+	}
+	tk, err := m.tx.Enqueue()
+	if err != nil {
+		rollbackFrees()
+		return nil, err
+	}
+	return tk, nil
+}
+
+// abort abandons the transaction and releases any blocks it allocated.
+func (m *mtx) abort() {
+	m.tx.Abort()
+	if len(m.allocs) > 0 {
+		m.fs.metaMu.Lock()
+		for _, b := range m.allocs {
+			m.fs.bitmap[b/8] &^= 1 << (b % 8)
+		}
+		m.fs.metaMu.Unlock()
+	}
+	m.allocs, m.frees = nil, nil
 }
 
 // waitTickets waits for every enqueued chunk of a multi-transaction
-// mutation, returning the first error. Must be called without fs.mu.
+// mutation, returning the first error. Must be called outside every lock
+// and actor.
 func waitTickets(tks []*wal.Ticket) error {
 	_, err := waitChunks(tks)
 	return err
@@ -517,7 +825,8 @@ func waitTickets(tks []*wal.Ticket) error {
 
 // waitChunks waits for enqueued chunk tickets in order and reports how many
 // flushed durably before the first failure (draining the rest so journal
-// accounting stays consistent). Must be called without fs.mu.
+// accounting stays consistent). Must be called outside every lock and
+// actor.
 func waitChunks(tks []*wal.Ticket) (ok int, err error) {
 	for i, tk := range tks {
 		if tk != nil {
@@ -535,20 +844,12 @@ func waitChunks(tks []*wal.Ticket) (ok int, err error) {
 	return ok, nil
 }
 
-// unlockWait releases fs.mu, waits for the enqueued tickets, and merges a
-// durability failure over err (the staging outcome). The caller must hold
-// fs.mu and must not touch FS state afterwards.
-func (fs *FS) unlockWait(tickets []*wal.Ticket, err error) error {
-	fs.mu.Unlock()
-	if werr := waitTickets(tickets); werr != nil {
-		return werr
-	}
-	return err
-}
-
 // --- public API ---
 
-// AllocInode allocates a fresh inode of the given mode with an optional tag.
+// AllocInode allocates a fresh inode of the given mode with an optional
+// tag. The whole claim — slot scan, table write, staging, enqueue — is one
+// metaMu critical section; no actor is involved because the slot has no
+// owner until this returns.
 func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 	if mode == ModeFree {
 		return 0, fmt.Errorf("%w: cannot allocate ModeFree", ErrBadInode)
@@ -556,7 +857,36 @@ func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 	if len(tag) > MaxTagLen {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
 	}
-	fs.mu.Lock()
+	serial := fs.serialOps.Load()
+	if serial {
+		fs.serialMu.Lock()
+	}
+	ino, tk, err := fs.claimInode(mode, tag)
+	if serial {
+		fs.serialMu.Unlock()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := tk.Wait(); err != nil {
+		// Roll the in-memory allocation back so the slot is not leaked
+		// for the rest of the mount — unless something linked the failed
+		// inode while we waited.
+		fs.metaMu.Lock()
+		if fs.itab[ino].Links == 0 {
+			fs.itab[ino] = dinode{}
+		}
+		fs.metaMu.Unlock()
+		return 0, fmt.Errorf("inode: alloc %d: %w", ino, err)
+	}
+	return ino, nil
+}
+
+// claimInode scans for a free slot, claims it, and enqueues its table
+// block. The durability wait is the caller's.
+func (fs *FS) claimInode(mode Mode, tag string) (Ino, *wal.Ticket, error) {
+	fs.metaMu.Lock()
+	defer fs.metaMu.Unlock()
 	for i := uint64(1); i < fs.sb.NInodes; i++ {
 		if fs.itab[i].Mode != ModeFree {
 			continue
@@ -567,64 +897,69 @@ func (fs *FS) AllocInode(mode Mode, tag string) (Ino, error) {
 			Tag:       tag,
 		}
 		tx := fs.log.Begin()
-		if err := fs.flushInodeLocked(tx, Ino(i)); err != nil {
+		if err := fs.stageItabBlockLocked(tx, i/InodesPerBlock); err != nil {
 			tx.Abort()
 			fs.itab[i] = dinode{}
-			fs.mu.Unlock()
-			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
+			return 0, nil, fmt.Errorf("inode: alloc %d: %w", i, err)
 		}
-		if err := fs.commitUnlock(tx); err != nil {
-			// Roll the in-memory allocation back so the slot is not
-			// leaked for the rest of the mount. The lock was released
-			// for the wait, so only reclaim the slot if nothing linked
-			// the failed inode in the meantime.
-			fs.mu.Lock()
-			if fs.itab[i].Links == 0 {
-				fs.itab[i] = dinode{}
-			}
-			fs.mu.Unlock()
-			return 0, fmt.Errorf("inode: alloc %d: %w", i, err)
+		tk, err := tx.Enqueue()
+		if err != nil {
+			fs.itab[i] = dinode{}
+			return 0, nil, fmt.Errorf("inode: alloc %d: %w", i, err)
 		}
-		return Ino(i), nil
+		return Ino(i), tk, nil
 	}
-	fs.mu.Unlock()
-	return 0, fmt.Errorf("%w: inode table full", ErrNoSpace)
+	return 0, nil, fmt.Errorf("%w: inode table full", ErrNoSpace)
 }
 
 // FreeInode releases ino and all its data blocks. Tree inodes must be empty.
 // Data blocks are not zeroed; see the package comment.
 func (fs *FS) FreeInode(ino Ino) error {
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(ino); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(ino); err != nil {
 		return err
 	}
-	d := &fs.itab[ino]
-	if d.Mode == ModeTree && d.Size > 0 {
-		fs.mu.Unlock()
-		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
+	var (
+		tk    *wal.Ticket
+		opErr error
+	)
+	fs.exec(ino, func() {
+		d, err := fs.loadAlive(ino)
+		if err != nil {
+			opErr = err
+			return
+		}
+		if d.Mode == ModeTree && d.Size > 0 {
+			opErr = fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
+			return
+		}
+		m := fs.begin()
+		if err := fs.freeInodeBlocks(m, &d); err != nil {
+			m.abort()
+			opErr = err
+			return
+		}
+		d = dinode{}
+		tk, opErr = m.enqueue(pub{ino, &d})
+		if opErr != nil {
+			m.abort()
+		}
+	})
+	if opErr != nil {
+		return opErr
 	}
-	tx := fs.log.Begin()
-	if err := fs.freeInodeBlocksLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
+	if tk != nil {
+		return tk.Wait()
 	}
-	fs.itab[ino] = dinode{}
-	if err := fs.flushInodeLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
-	}
-	return fs.commitUnlock(tx)
+	return nil
 }
 
-// freeInodeBlocksLocked releases every data block mapped by ino.
-func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
-	d := &fs.itab[ino]
+// freeInodeBlocks releases every data block mapped by the working copy d,
+// clearing its pointers. The frees are deferred inside m; reads go through
+// the transaction so the walk observes its own structure edits.
+func (fs *FS) freeInodeBlocks(m *mtx, d *dinode) error {
 	for i := 0; i < NumDirect; i++ {
 		if d.Direct[i] != 0 {
-			if err := fs.freeBlockLocked(tx, d.Direct[i]); err != nil {
+			if err := m.free(d.Direct[i]); err != nil {
 				return err
 			}
 			d.Direct[i] = 0
@@ -632,18 +967,18 @@ func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
 	}
 	freeIndirect := func(ptrBlock uint64) error {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
+		if err := m.readBlock(ptrBlock, buf); err != nil {
 			return err
 		}
 		for j := 0; j < PtrsPerBlock; j++ {
 			p := binary.LittleEndian.Uint64(buf[8*j:])
 			if p != 0 {
-				if err := fs.freeBlockLocked(tx, p); err != nil {
+				if err := m.free(p); err != nil {
 					return err
 				}
 			}
 		}
-		return fs.freeBlockLocked(tx, ptrBlock)
+		return m.free(ptrBlock)
 	}
 	if d.Indirect != 0 {
 		if err := freeIndirect(d.Indirect); err != nil {
@@ -653,7 +988,7 @@ func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
 	}
 	if d.DblInd != 0 {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlockLocked(tx, d.DblInd, buf); err != nil {
+		if err := m.readBlock(d.DblInd, buf); err != nil {
 			return err
 		}
 		for j := 0; j < PtrsPerBlock; j++ {
@@ -664,7 +999,7 @@ func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
 				}
 			}
 		}
-		if err := fs.freeBlockLocked(tx, d.DblInd); err != nil {
+		if err := m.free(d.DblInd); err != nil {
 			return err
 		}
 		d.DblInd = 0
@@ -676,61 +1011,84 @@ func (fs *FS) freeInodeBlocksLocked(tx *wal.Txn, ino Ino) error {
 // is the "shred" variant used in ablation experiments; it defeats free-space
 // residue but NOT journal residue (old images are already logged).
 func (fs *FS) SecureFreeInode(ino Ino) error {
-	fs.mu.Lock()
-	// Drain the commit queue first: a queued checkpoint landing after the
-	// zero pass would resurrect the very bytes this variant scrubs.
-	fs.log.Barrier()
-	if err := fs.checkInoLocked(ino); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(ino); err != nil {
 		return err
 	}
-	d := &fs.itab[ino]
-	if d.Mode == ModeTree && d.Size > 0 {
-		fs.mu.Unlock()
-		return fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
-	}
-	zero := make([]byte, blockdev.BlockSize)
-	nblocks := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
-	// Zero pass: direct device writes bypass the journal on purpose — a
-	// journaled zero write would log the zeros, not remove old images, and
-	// the point of this variant is to scrub home locations only.
-	for bi := uint64(0); bi < nblocks; bi++ {
-		phys, err := fs.bmapLocked(nil, ino, bi, false)
+	var (
+		tk    *wal.Ticket
+		opErr error
+	)
+	fs.exec(ino, func() {
+		// Drain the commit queue first: a queued checkpoint landing after
+		// the zero pass would resurrect the very bytes this variant
+		// scrubs. (The committer never needs this actor, so waiting here
+		// cannot deadlock.)
+		fs.log.Barrier()
+		d, err := fs.loadAlive(ino)
 		if err != nil {
-			fs.mu.Unlock()
-			return err
+			opErr = err
+			return
 		}
-		if phys == 0 {
-			continue
+		if d.Mode == ModeTree && d.Size > 0 {
+			opErr = fmt.Errorf("%w: inode %d", ErrTreeNotEmpty, ino)
+			return
 		}
-		if err := fs.dev.WriteBlock(phys, zero); err != nil {
-			fs.mu.Unlock()
-			return err
+		zero := make([]byte, blockdev.BlockSize)
+		nblocks := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
+		// Zero pass: direct device writes bypass the journal on purpose —
+		// a journaled zero write would log the zeros, not remove old
+		// images, and the point of this variant is to scrub home
+		// locations only. Through the buffer cache these zeros are dirty
+		// until the freeing transaction's commit group flushes; that
+		// flush ends with a device Sync, which drains them to the raw
+		// device before the durability wait below returns.
+		for bi := uint64(0); bi < nblocks; bi++ {
+			phys, err := fs.bmap(nil, &d, bi, false)
+			if err != nil {
+				opErr = err
+				return
+			}
+			if phys == 0 {
+				continue
+			}
+			if err := fs.dev.WriteBlock(phys, zero); err != nil {
+				opErr = err
+				return
+			}
 		}
+		m := fs.begin()
+		if err := fs.freeInodeBlocks(m, &d); err != nil {
+			m.abort()
+			opErr = err
+			return
+		}
+		d = dinode{}
+		tk, opErr = m.enqueue(pub{ino, &d})
+		if opErr != nil {
+			m.abort()
+		}
+	})
+	if opErr != nil {
+		return opErr
 	}
-	tx := fs.log.Begin()
-	if err := fs.freeInodeBlocksLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
+	if tk != nil {
+		return tk.Wait()
 	}
-	fs.itab[ino] = dinode{}
-	if err := fs.flushInodeLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
-	}
-	return fs.commitUnlock(tx)
+	return nil
 }
 
-// Stat returns metadata for ino.
+// Stat returns metadata for ino. It reads the table mirror directly (one
+// metaMu snapshot) rather than queueing on the inode's actor: slot
+// publishes are atomic under metaMu, so the snapshot is always a committed
+// operation boundary.
 func (fs *FS) Stat(ino Ino) (Info, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkInoLocked(ino); err != nil {
+	if err := fs.rangeCheck(ino); err != nil {
 		return Info{}, err
 	}
-	d := fs.itab[ino]
+	d, err := fs.loadAlive(ino)
+	if err != nil {
+		return Info{}, err
+	}
 	return Info{
 		Ino:   ino,
 		Mode:  d.Mode,
@@ -746,29 +1104,47 @@ func (fs *FS) SetTag(ino Ino, tag string) error {
 	if len(tag) > MaxTagLen {
 		return fmt.Errorf("%w: %d bytes", ErrTagTooLong, len(tag))
 	}
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(ino); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(ino); err != nil {
 		return err
 	}
-	fs.itab[ino].Tag = tag
-	tx := fs.log.Begin()
-	if err := fs.flushInodeLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
+	var (
+		tk    *wal.Ticket
+		opErr error
+	)
+	fs.exec(ino, func() {
+		d, err := fs.loadAlive(ino)
+		if err != nil {
+			opErr = err
+			return
+		}
+		d.Tag = tag
+		m := fs.begin()
+		tk, opErr = m.enqueue(pub{ino, &d})
+		if opErr != nil {
+			m.abort()
+		}
+	})
+	if opErr != nil {
+		return opErr
 	}
-	return fs.commitUnlock(tx)
+	if tk != nil {
+		return tk.Wait()
+	}
+	return nil
 }
 
-// bmapLocked maps file-relative block bi of ino to a device block. With
-// alloc, missing blocks (and indirect blocks) are allocated inside tx.
-// Returns 0 for a hole when alloc is false.
-func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, error) {
-	d := &fs.itab[ino]
+// bmap maps file-relative block bi of the working copy d to a device
+// block. With alloc, missing blocks (and indirect blocks) are allocated
+// inside m's transaction (m may be nil only when alloc is false). Returns
+// 0 for a hole when alloc is false. The caller owns d's inode.
+func (fs *FS) bmap(m *mtx, d *dinode, bi uint64, alloc bool) (uint64, error) {
+	var tx *wal.Txn
+	if m != nil {
+		tx = m.tx
+	}
 	if bi < NumDirect {
 		if d.Direct[bi] == 0 && alloc {
-			b, err := fs.allocBlockLocked(tx)
+			b, err := m.alloc()
 			if err != nil {
 				return 0, err
 			}
@@ -781,12 +1157,12 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 	// loadPtr reads slot within ptrBlock, allocating through it if needed.
 	loadPtr := func(ptrBlock uint64, slot uint64) (uint64, error) {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
+		if err := fs.readBlock(tx, ptrBlock, buf); err != nil {
 			return 0, err
 		}
 		p := binary.LittleEndian.Uint64(buf[8*slot:])
 		if p == 0 && alloc {
-			b, err := fs.allocBlockLocked(tx)
+			b, err := m.alloc()
 			if err != nil {
 				return 0, err
 			}
@@ -804,7 +1180,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 			if !alloc {
 				return 0, nil
 			}
-			b, err := fs.allocBlockLocked(tx)
+			b, err := m.alloc()
 			if err != nil {
 				return 0, err
 			}
@@ -824,7 +1200,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 		if !alloc {
 			return 0, nil
 		}
-		b, err := fs.allocBlockLocked(tx)
+		b, err := m.alloc()
 		if err != nil {
 			return 0, err
 		}
@@ -834,7 +1210,7 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 		d.DblInd = b
 	}
 	l1Slot, l2Slot := bi/PtrsPerBlock, bi%PtrsPerBlock
-	l1, err := fs.loadPtrBlockLocked(tx, d.DblInd, l1Slot, alloc)
+	l1, err := fs.loadPtrBlock(m, d.DblInd, l1Slot, alloc)
 	if err != nil {
 		return 0, err
 	}
@@ -844,17 +1220,22 @@ func (fs *FS) bmapLocked(tx *wal.Txn, ino Ino, bi uint64, alloc bool) (uint64, e
 	return loadPtr(l1, l2Slot)
 }
 
-// loadPtrBlockLocked resolves (and with alloc, creates) the level-1 pointer
+// loadPtrBlock resolves (and with alloc, creates) the level-1 pointer
 // block at slot within the double-indirect block dbl. New pointer blocks
-// are zero-initialized inside the transaction.
-func (fs *FS) loadPtrBlockLocked(tx *wal.Txn, dbl, slot uint64, alloc bool) (uint64, error) {
+// are zero-initialized inside the transaction. m may be nil only when
+// alloc is false.
+func (fs *FS) loadPtrBlock(m *mtx, dbl, slot uint64, alloc bool) (uint64, error) {
+	var tx *wal.Txn
+	if m != nil {
+		tx = m.tx
+	}
 	buf := make([]byte, blockdev.BlockSize)
-	if err := fs.readBlockLocked(tx, dbl, buf); err != nil {
+	if err := fs.readBlock(tx, dbl, buf); err != nil {
 		return 0, err
 	}
 	p := binary.LittleEndian.Uint64(buf[8*slot:])
 	if p == 0 && alloc {
-		b, err := fs.allocBlockLocked(tx)
+		b, err := m.alloc()
 		if err != nil {
 			return 0, err
 		}
@@ -872,195 +1253,213 @@ func (fs *FS) loadPtrBlockLocked(tx *wal.Txn, dbl, slot uint64, alloc bool) (uin
 
 // WriteAt writes p at byte offset off in ino, extending the file as needed.
 // Large writes are split across multiple journal transactions, each of which
-// is individually atomic. All chunks are staged (and enqueued) under fs.mu,
-// then awaited together after the lock is released, so a large write's own
-// chunks form natural commit groups.
+// is individually atomic. All chunks are staged (and enqueued) under the
+// inode's actor, then awaited together after ownership is released, so a
+// large write's own chunks form natural commit groups.
 func (fs *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(ino); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(ino); err != nil {
 		return 0, err
 	}
 	if (off+uint64(len(p))+blockdev.BlockSize-1)/blockdev.BlockSize > MaxFileBlocks {
-		fs.mu.Unlock()
 		return 0, ErrFileTooBig
 	}
 	var (
-		written int
 		tickets []*wal.Ticket
 		ends    []int // bytes staged through each enqueued chunk
+		opErr   error
 	)
-	// fail finalizes an error mid-write: the current txn (if any) is
-	// aborted, the lock dropped, and already-enqueued chunks awaited so
-	// the returned byte count reflects only what actually became durable.
-	// A durability failure supersedes the staging error.
-	fail := func(tx *wal.Txn, err error) (int, error) {
-		if tx != nil {
-			tx.Abort()
-		}
-		fs.mu.Unlock()
-		okN, werr := waitChunks(tickets)
-		if werr != nil {
-			err = werr
-		}
-		durable := 0
-		if okN > 0 {
-			durable = ends[okN-1]
-		}
-		return durable, err
-	}
-	for written < len(p) {
-		tx := fs.log.Begin()
-		chunkBlocks := 0
-		for written < len(p) && chunkBlocks < fs.maxChunk {
-			cur := off + uint64(written)
-			bi := cur / blockdev.BlockSize
-			bo := cur % blockdev.BlockSize
-			n := blockdev.BlockSize - bo
-			if int(n) > len(p)-written {
-				n = uint64(len(p) - written)
-			}
-			phys, err := fs.bmapLocked(tx, ino, bi, true)
-			if err != nil {
-				return fail(tx, err)
-			}
-			buf := make([]byte, blockdev.BlockSize)
-			if bo != 0 || n != blockdev.BlockSize {
-				if err := fs.readBlockLocked(tx, phys, buf); err != nil {
-					return fail(tx, err)
-				}
-			}
-			copy(buf[bo:], p[written:written+int(n)])
-			if err := tx.Write(phys, buf); err != nil {
-				return fail(tx, err)
-			}
-			written += int(n)
-			chunkBlocks++
-		}
-		d := &fs.itab[ino]
-		if end := off + uint64(written); end > d.Size {
-			d.Size = end
-		}
-		d.MTimeNano = fs.clock.Now().UnixNano()
-		if err := fs.flushInodeLocked(tx, ino); err != nil {
-			return fail(tx, err)
-		}
-		tk, err := tx.Enqueue()
+	fs.exec(ino, func() {
+		d, err := fs.loadAlive(ino)
 		if err != nil {
-			return fail(nil, err)
+			opErr = err
+			return
 		}
-		tickets = append(tickets, tk)
-		ends = append(ends, written)
-	}
-	fs.mu.Unlock()
-	if okN, err := waitChunks(tickets); err != nil {
-		durable := 0
-		if okN > 0 {
-			durable = ends[okN-1]
+		written := 0
+		for written < len(p) {
+			m := fs.begin()
+			chunkBlocks := 0
+			for written < len(p) && chunkBlocks < fs.maxChunk {
+				cur := off + uint64(written)
+				bi := cur / blockdev.BlockSize
+				bo := cur % blockdev.BlockSize
+				n := blockdev.BlockSize - bo
+				if int(n) > len(p)-written {
+					n = uint64(len(p) - written)
+				}
+				phys, err := fs.bmap(m, &d, bi, true)
+				if err != nil {
+					m.abort()
+					opErr = err
+					return
+				}
+				buf := make([]byte, blockdev.BlockSize)
+				if bo != 0 || n != blockdev.BlockSize {
+					if err := m.readBlock(phys, buf); err != nil {
+						m.abort()
+						opErr = err
+						return
+					}
+				}
+				copy(buf[bo:], p[written:written+int(n)])
+				if err := m.tx.Write(phys, buf); err != nil {
+					m.abort()
+					opErr = err
+					return
+				}
+				written += int(n)
+				chunkBlocks++
+			}
+			if end := off + uint64(written); end > d.Size {
+				d.Size = end
+			}
+			d.MTimeNano = fs.clock.Now().UnixNano()
+			tk, err := m.enqueue(pub{ino, &d})
+			if err != nil {
+				m.abort()
+				opErr = err
+				return
+			}
+			tickets = append(tickets, tk)
+			ends = append(ends, written)
 		}
-		return durable, err
+	})
+	// The returned byte count reflects only what actually became durable;
+	// a durability failure supersedes a staging error.
+	okN, werr := waitChunks(tickets)
+	durable := 0
+	if okN > 0 {
+		durable = ends[okN-1]
 	}
-	return written, nil
+	if werr != nil {
+		return durable, werr
+	}
+	if opErr != nil {
+		return durable, opErr
+	}
+	return durable, nil
 }
 
 // ReadAt reads into p from byte offset off. It returns the number of bytes
 // read; reads beyond the file size are truncated, and a read starting at or
 // past the end returns 0 with no error (the caller checks Size via Stat).
+// The read runs under the inode's actor, so it never observes a torn
+// multi-block write on its inode — but reads of different inodes proceed
+// in parallel.
 func (fs *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkInoLocked(ino); err != nil {
+	if err := fs.rangeCheck(ino); err != nil {
 		return 0, err
 	}
-	d := &fs.itab[ino]
-	if off >= d.Size {
-		return 0, nil
-	}
-	if off+uint64(len(p)) > d.Size {
-		p = p[:d.Size-off]
-	}
-	read := 0
-	buf := make([]byte, blockdev.BlockSize)
-	for read < len(p) {
-		cur := off + uint64(read)
-		bi := cur / blockdev.BlockSize
-		bo := cur % blockdev.BlockSize
-		n := blockdev.BlockSize - bo
-		if int(n) > len(p)-read {
-			n = uint64(len(p) - read)
-		}
-		phys, err := fs.bmapLocked(nil, ino, bi, false)
+	var (
+		read  int
+		opErr error
+	)
+	fs.exec(ino, func() {
+		d, err := fs.loadAlive(ino)
 		if err != nil {
-			return read, err
+			opErr = err
+			return
 		}
-		if phys == 0 {
-			// Hole: zeros.
-			for i := uint64(0); i < n; i++ {
-				p[read+int(i)] = 0
-			}
-		} else {
-			if err := fs.readBlockLocked(nil, phys, buf); err != nil {
-				return read, err
-			}
-			copy(p[read:read+int(n)], buf[bo:bo+n])
+		if off >= d.Size {
+			return
 		}
-		read += int(n)
-	}
-	return read, nil
+		if off+uint64(len(p)) > d.Size {
+			p = p[:d.Size-off]
+		}
+		buf := make([]byte, blockdev.BlockSize)
+		for read < len(p) {
+			cur := off + uint64(read)
+			bi := cur / blockdev.BlockSize
+			bo := cur % blockdev.BlockSize
+			n := blockdev.BlockSize - bo
+			if int(n) > len(p)-read {
+				n = uint64(len(p) - read)
+			}
+			phys, err := fs.bmap(nil, &d, bi, false)
+			if err != nil {
+				opErr = err
+				return
+			}
+			if phys == 0 {
+				// Hole: zeros.
+				for i := uint64(0); i < n; i++ {
+					p[read+int(i)] = 0
+				}
+			} else {
+				if err := fs.readBlock(nil, phys, buf); err != nil {
+					opErr = err
+					return
+				}
+				copy(p[read:read+int(n)], buf[bo:bo+n])
+			}
+			read += int(n)
+		}
+	})
+	return read, opErr
 }
 
 // Truncate shrinks ino to size (growing is done by WriteAt). Whole blocks
 // past the new end are freed; the partial tail block is not scrubbed.
 func (fs *FS) Truncate(ino Ino, size uint64) error {
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(ino); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(ino); err != nil {
 		return err
 	}
-	d := &fs.itab[ino]
-	if size >= d.Size {
-		fs.mu.Unlock()
-		return nil
-	}
-	keep := (size + blockdev.BlockSize - 1) / blockdev.BlockSize
-	total := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
-	tx := fs.log.Begin()
-	for bi := keep; bi < total; bi++ {
-		phys, err := fs.bmapLocked(tx, ino, bi, false)
+	var (
+		tk    *wal.Ticket
+		opErr error
+	)
+	fs.exec(ino, func() {
+		d, err := fs.loadAlive(ino)
 		if err != nil {
-			tx.Abort()
-			fs.mu.Unlock()
-			return err
+			opErr = err
+			return
 		}
-		if phys == 0 {
-			continue
+		if size >= d.Size {
+			return
 		}
-		if err := fs.freeBlockLocked(tx, phys); err != nil {
-			tx.Abort()
-			fs.mu.Unlock()
-			return err
+		keep := (size + blockdev.BlockSize - 1) / blockdev.BlockSize
+		total := (d.Size + blockdev.BlockSize - 1) / blockdev.BlockSize
+		m := fs.begin()
+		for bi := keep; bi < total; bi++ {
+			phys, err := fs.bmap(m, &d, bi, false)
+			if err != nil {
+				m.abort()
+				opErr = err
+				return
+			}
+			if phys == 0 {
+				continue
+			}
+			if err := m.free(phys); err != nil {
+				m.abort()
+				opErr = err
+				return
+			}
+			if err := fs.clearMapping(m, &d, bi); err != nil {
+				m.abort()
+				opErr = err
+				return
+			}
 		}
-		if err := fs.clearMappingLocked(tx, ino, bi); err != nil {
-			tx.Abort()
-			fs.mu.Unlock()
-			return err
+		d.Size = size
+		d.MTimeNano = fs.clock.Now().UnixNano()
+		tk, opErr = m.enqueue(pub{ino, &d})
+		if opErr != nil {
+			m.abort()
 		}
+	})
+	if opErr != nil {
+		return opErr
 	}
-	d.Size = size
-	d.MTimeNano = fs.clock.Now().UnixNano()
-	if err := fs.flushInodeLocked(tx, ino); err != nil {
-		tx.Abort()
-		fs.mu.Unlock()
-		return err
+	if tk != nil {
+		return tk.Wait()
 	}
-	return fs.commitUnlock(tx)
+	return nil
 }
 
-// clearMappingLocked zeroes the pointer to file block bi (direct or
-// indirect). Indirect pointer blocks are left allocated for simplicity;
-// FreeInode reclaims them.
-func (fs *FS) clearMappingLocked(tx *wal.Txn, ino Ino, bi uint64) error {
-	d := &fs.itab[ino]
+// clearMapping zeroes the pointer to file block bi (direct or indirect) in
+// the working copy d. Indirect pointer blocks are left allocated for
+// simplicity; FreeInode reclaims them.
+func (fs *FS) clearMapping(m *mtx, d *dinode, bi uint64) error {
 	if bi < NumDirect {
 		d.Direct[bi] = 0
 		return nil
@@ -1068,11 +1467,11 @@ func (fs *FS) clearMappingLocked(tx *wal.Txn, ino Ino, bi uint64) error {
 	bi -= NumDirect
 	clearSlot := func(ptrBlock, slot uint64) error {
 		buf := make([]byte, blockdev.BlockSize)
-		if err := fs.readBlockLocked(tx, ptrBlock, buf); err != nil {
+		if err := m.readBlock(ptrBlock, buf); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint64(buf[8*slot:], 0)
-		return tx.Write(ptrBlock, buf)
+		return m.tx.Write(ptrBlock, buf)
 	}
 	if bi < PtrsPerBlock {
 		if d.Indirect == 0 {
@@ -1084,7 +1483,7 @@ func (fs *FS) clearMappingLocked(tx *wal.Txn, ino Ino, bi uint64) error {
 	if d.DblInd == 0 {
 		return nil
 	}
-	l1, err := fs.loadPtrBlockLocked(tx, d.DblInd, bi/PtrsPerBlock, false)
+	l1, err := fs.loadPtrBlock(m, d.DblInd, bi/PtrsPerBlock, false)
 	if err != nil || l1 == 0 {
 		return err
 	}
@@ -1093,8 +1492,8 @@ func (fs *FS) clearMappingLocked(tx *wal.Txn, ino Ino, bi uint64) error {
 
 // FreeBlocks reports how many data blocks are unallocated.
 func (fs *FS) FreeBlocks() uint64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.metaMu.Lock()
+	defer fs.metaMu.Unlock()
 	var free uint64
 	for b := fs.sb.DataStart; b < fs.sb.NBlocks; b++ {
 		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/blockdev"
 	"repro/internal/wal"
 )
 
@@ -11,6 +12,14 @@ import (
 // organized as "two major inode trees" (§3): tree inodes here hold a packed
 // list of (name, child-ino) entries in their data bytes, exactly like a
 // minimal directory format. plainfs reuses the same links as directories.
+//
+// Two-inode operations (link and unlink touch both the parent tree and the
+// child's link count) hold both actors via exec2, which always forwards
+// from the lower inode into the higher — the ordered-forwarding rule that
+// makes deadlock impossible. RemoveChild only learns the child inode from
+// the parent's entry list, so it peeks under the parent alone, then
+// retakes both actors in order and revalidates (Biscuit's lock-in-order +
+// recheck pattern), retrying if a concurrent mutation moved the name.
 
 // Dirent is one (name, ino) link inside a tree inode.
 type Dirent struct {
@@ -65,25 +74,24 @@ func decodeDirents(b []byte) ([]Dirent, error) {
 	return ents, nil
 }
 
-// loadTree reads and decodes the entries of tree inode t. Caller holds fs.mu.
-func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
-	d := &fs.itab[t]
+// loadTree reads and decodes the entries of the working tree copy d. The
+// caller owns d's inode (actor or serial mode).
+func (fs *FS) loadTree(d *dinode, t Ino) ([]Dirent, error) {
 	if d.Mode != ModeTree {
 		return nil, fmt.Errorf("%w: inode %d is %v", ErrNotTree, t, d.Mode)
 	}
 	buf := make([]byte, d.Size)
-	// Inline read to avoid re-entering the public locked API.
 	read := 0
-	blk := make([]byte, 4096)
+	blk := make([]byte, blockdev.BlockSize)
 	for read < len(buf) {
 		cur := uint64(read)
-		bi := cur / 4096
-		bo := cur % 4096
-		n := 4096 - bo
+		bi := cur / blockdev.BlockSize
+		bo := cur % blockdev.BlockSize
+		n := blockdev.BlockSize - bo
 		if int(n) > len(buf)-read {
 			n = uint64(len(buf) - read)
 		}
-		phys, err := fs.bmapLocked(nil, t, bi, false)
+		phys, err := fs.bmap(nil, d, bi, false)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +100,7 @@ func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
 				buf[read+int(i)] = 0
 			}
 		} else {
-			if err := fs.readBlockLocked(nil, phys, blk); err != nil {
+			if err := fs.readBlock(nil, phys, blk); err != nil {
 				return nil, err
 			}
 			copy(buf[read:read+int(n)], blk[bo:bo+n])
@@ -102,46 +110,44 @@ func (fs *FS) loadTreeLocked(t Ino) ([]Dirent, error) {
 	return decodeDirents(buf)
 }
 
-// storeTreeLocked rewrites the full entry list of tree inode t. Caller
-// holds fs.mu. The rewrite shares the WriteAt/Truncate implementations'
-// journaled path by calling their internals directly; its transactions are
-// enqueued, not awaited — the returned tickets are waited on by the caller
-// AFTER fs.mu is released, so tree mutations group-commit like everything
+// storeTree rewrites the full entry list of tree inode t through its
+// working copy d. The caller owns t's actor. Transactions are enqueued, not
+// awaited — the returned tickets are waited on by the caller AFTER actor
+// ownership is released, so tree mutations group-commit like everything
 // else. On error, the caller still owns the returned tickets.
-func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) ([]*wal.Ticket, error) {
+func (fs *FS) storeTree(d *dinode, t Ino, ents []Dirent) ([]*wal.Ticket, error) {
 	payload := encodeDirents(ents)
-	d := &fs.itab[t]
 	oldSize := d.Size
 	var tickets []*wal.Ticket
 
 	// Write new payload (if any), then shrink if the tree got smaller.
 	written := 0
 	for written < len(payload) {
-		tx := fs.log.Begin()
+		m := fs.begin()
 		chunk := 0
 		for written < len(payload) && chunk < fs.maxChunk {
 			cur := uint64(written)
-			bi := cur / 4096
-			bo := cur % 4096
-			n := uint64(4096 - bo)
+			bi := cur / blockdev.BlockSize
+			bo := cur % blockdev.BlockSize
+			n := uint64(blockdev.BlockSize - bo)
 			if int(n) > len(payload)-written {
 				n = uint64(len(payload) - written)
 			}
-			phys, err := fs.bmapLocked(tx, t, bi, true)
+			phys, err := fs.bmap(m, d, bi, true)
 			if err != nil {
-				tx.Abort()
+				m.abort()
 				return tickets, err
 			}
-			buf := make([]byte, 4096)
-			if bo != 0 || n != 4096 {
-				if err := fs.readBlockLocked(tx, phys, buf); err != nil {
-					tx.Abort()
+			buf := make([]byte, blockdev.BlockSize)
+			if bo != 0 || n != blockdev.BlockSize {
+				if err := m.readBlock(phys, buf); err != nil {
+					m.abort()
 					return tickets, err
 				}
 			}
 			copy(buf[bo:], payload[written:written+int(n)])
-			if err := tx.Write(phys, buf); err != nil {
-				tx.Abort()
+			if err := m.tx.Write(phys, buf); err != nil {
+				m.abort()
 				return tickets, err
 			}
 			written += int(n)
@@ -149,49 +155,43 @@ func (fs *FS) storeTreeLocked(t Ino, ents []Dirent) ([]*wal.Ticket, error) {
 		}
 		d.Size = maxU64(d.Size, uint64(written))
 		d.MTimeNano = fs.clock.Now().UnixNano()
-		if err := fs.flushInodeLocked(tx, t); err != nil {
-			tx.Abort()
-			return tickets, err
-		}
-		tk, err := tx.Enqueue()
+		tk, err := m.enqueue(pub{t, d})
 		if err != nil {
+			m.abort()
 			return tickets, err
 		}
 		tickets = append(tickets, tk)
 	}
 	newSize := uint64(len(payload))
-	tx := fs.log.Begin()
+	m := fs.begin()
 	if newSize < oldSize {
 		// Shrink: free whole blocks past the new end.
-		keep := (newSize + 4095) / 4096
-		total := (oldSize + 4095) / 4096
+		keep := (newSize + blockdev.BlockSize - 1) / blockdev.BlockSize
+		total := (oldSize + blockdev.BlockSize - 1) / blockdev.BlockSize
 		for bi := keep; bi < total; bi++ {
-			phys, err := fs.bmapLocked(tx, t, bi, false)
+			phys, err := fs.bmap(m, d, bi, false)
 			if err != nil {
-				tx.Abort()
+				m.abort()
 				return tickets, err
 			}
 			if phys == 0 {
 				continue
 			}
-			if err := fs.freeBlockLocked(tx, phys); err != nil {
-				tx.Abort()
+			if err := m.free(phys); err != nil {
+				m.abort()
 				return tickets, err
 			}
-			if err := fs.clearMappingLocked(tx, t, bi); err != nil {
-				tx.Abort()
+			if err := fs.clearMapping(m, d, bi); err != nil {
+				m.abort()
 				return tickets, err
 			}
 		}
 		d.MTimeNano = fs.clock.Now().UnixNano()
 	}
 	d.Size = newSize
-	if err := fs.flushInodeLocked(tx, t); err != nil {
-		tx.Abort()
-		return tickets, err
-	}
-	tk, err := tx.Enqueue()
+	tk, err := m.enqueue(pub{t, d})
 	if err != nil {
+		m.abort()
 		return tickets, err
 	}
 	tickets = append(tickets, tk)
@@ -206,114 +206,232 @@ func maxU64(a, b uint64) uint64 {
 }
 
 // AddChild links child under parent with the given name. The name must be
-// unique within parent.
+// unique within parent. Both actors are held (in ascending inode order) so
+// the parent's entry rewrite and the child's link-count bump are one
+// atomic step with respect to other tree operations.
 func (fs *FS) AddChild(parent Ino, name string, child Ino) error {
 	if name == "" || len(name) > maxNameLen {
 		return fmt.Errorf("inode: invalid child name %q", name)
 	}
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(parent); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(parent); err != nil {
 		return err
 	}
-	if err := fs.checkInoLocked(child); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(child); err != nil {
 		return err
 	}
-	ents, err := fs.loadTreeLocked(parent)
-	if err != nil {
-		fs.mu.Unlock()
-		return err
-	}
-	for _, e := range ents {
-		if e.Name == name {
-			fs.mu.Unlock()
-			return fmt.Errorf("%w: %q under inode %d", ErrChildExists, name, parent)
+	var (
+		tickets []*wal.Ticket
+		opErr   error
+	)
+	fs.exec2(parent, child, func() {
+		pd, err := fs.loadAlive(parent)
+		if err != nil {
+			opErr = err
+			return
 		}
+		if _, err := fs.loadAlive(child); err != nil {
+			opErr = err
+			return
+		}
+		ents, err := fs.loadTree(&pd, parent)
+		if err != nil {
+			opErr = err
+			return
+		}
+		for _, e := range ents {
+			if e.Name == name {
+				opErr = fmt.Errorf("%w: %q under inode %d", ErrChildExists, name, parent)
+				return
+			}
+		}
+		ents = append(ents, Dirent{Name: name, Ino: child})
+		tickets, opErr = fs.storeTree(&pd, parent, ents)
+		if opErr != nil {
+			return
+		}
+		// Reload the child AFTER the store so that when parent == child
+		// (a tree linked to itself) the bump applies to the freshly
+		// published copy, not a pre-store snapshot.
+		cd := fs.loadInode(child)
+		cd.Links++
+		m := fs.begin()
+		tk, err := m.enqueue(pub{child, &cd})
+		if err != nil {
+			m.abort()
+			opErr = err
+			return
+		}
+		tickets = append(tickets, tk)
+	})
+	if werr := waitTickets(tickets); werr != nil {
+		return werr
 	}
-	ents = append(ents, Dirent{Name: name, Ino: child})
-	tickets, err := fs.storeTreeLocked(parent, ents)
-	if err != nil {
-		return fs.unlockWait(tickets, err)
-	}
-	fs.itab[child].Links++
-	tx := fs.log.Begin()
-	if err := fs.flushInodeLocked(tx, child); err != nil {
-		tx.Abort()
-		return fs.unlockWait(tickets, err)
-	}
-	tk, err := tx.Enqueue()
-	return fs.unlockWait(append(tickets, tk), err)
+	return opErr
 }
 
 // RemoveChild unlinks the named child from parent. The child inode itself is
 // not freed; callers decide (FreeInode) once Links drops to zero.
+//
+// The child inode is only discoverable from the parent's entries, so the
+// operation peeks under the parent's actor alone, then retakes parent AND
+// child in ascending order and revalidates that the name still maps to the
+// same child — retrying if a concurrent mutation won the race. Forwarding
+// stays ascending-only in both phases, so no cycle can form.
 func (fs *FS) RemoveChild(parent Ino, name string) error {
-	fs.mu.Lock()
-	if err := fs.checkInoLocked(parent); err != nil {
-		fs.mu.Unlock()
+	if err := fs.rangeCheck(parent); err != nil {
 		return err
 	}
-	ents, err := fs.loadTreeLocked(parent)
-	if err != nil {
-		fs.mu.Unlock()
-		return err
-	}
-	idx := -1
-	for i, e := range ents {
-		if e.Name == name {
-			idx = i
-			break
+	for {
+		var (
+			child Ino
+			found bool
+			opErr error
+		)
+		fs.exec(parent, func() {
+			pd, err := fs.loadAlive(parent)
+			if err != nil {
+				opErr = err
+				return
+			}
+			ents, err := fs.loadTree(&pd, parent)
+			if err != nil {
+				opErr = err
+				return
+			}
+			for _, e := range ents {
+				if e.Name == name {
+					child, found = e.Ino, true
+					return
+				}
+			}
+		})
+		if opErr != nil {
+			return opErr
+		}
+		if !found {
+			return fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
+		}
+
+		// A corrupt entry can name an out-of-range child; fall back to
+		// parent-only ownership and skip the link-count update, exactly
+		// like the pre-actor code's range guard.
+		target := parent
+		if child != 0 && uint64(child) < fs.sb.NInodes {
+			target = child
+		}
+		var (
+			tickets []*wal.Ticket
+			done    bool
+		)
+		fs.exec2(parent, target, func() {
+			pd, err := fs.loadAlive(parent)
+			if err != nil {
+				opErr = err
+				return
+			}
+			ents, err := fs.loadTree(&pd, parent)
+			if err != nil {
+				opErr = err
+				return
+			}
+			idx := -1
+			for i, e := range ents {
+				if e.Name == name && e.Ino == child {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// Lost the race between peek and retake; retry.
+				return
+			}
+			done = true
+			ents = append(ents[:idx], ents[idx+1:]...)
+			tickets, opErr = fs.storeTree(&pd, parent, ents)
+			if opErr != nil {
+				return
+			}
+			if target != child {
+				return
+			}
+			cd := fs.loadInode(child)
+			if cd.Mode != ModeFree && cd.Links > 0 {
+				cd.Links--
+				m := fs.begin()
+				tk, err := m.enqueue(pub{child, &cd})
+				if err != nil {
+					m.abort()
+					opErr = err
+					return
+				}
+				tickets = append(tickets, tk)
+			}
+		})
+		if werr := waitTickets(tickets); werr != nil {
+			return werr
+		}
+		if opErr != nil {
+			return opErr
+		}
+		if done {
+			return nil
 		}
 	}
-	if idx < 0 {
-		fs.mu.Unlock()
-		return fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
-	}
-	child := ents[idx].Ino
-	ents = append(ents[:idx], ents[idx+1:]...)
-	tickets, err := fs.storeTreeLocked(parent, ents)
-	if err != nil {
-		return fs.unlockWait(tickets, err)
-	}
-	if uint64(child) < fs.sb.NInodes && fs.itab[child].Mode != ModeFree && fs.itab[child].Links > 0 {
-		fs.itab[child].Links--
-		tx := fs.log.Begin()
-		if err := fs.flushInodeLocked(tx, child); err != nil {
-			tx.Abort()
-			return fs.unlockWait(tickets, err)
-		}
-		tk, err := tx.Enqueue()
-		return fs.unlockWait(append(tickets, tk), err)
-	}
-	return fs.unlockWait(tickets, nil)
 }
 
 // Lookup resolves the named child of parent.
 func (fs *FS) Lookup(parent Ino, name string) (Ino, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkInoLocked(parent); err != nil {
+	if err := fs.rangeCheck(parent); err != nil {
 		return 0, err
 	}
-	ents, err := fs.loadTreeLocked(parent)
-	if err != nil {
-		return 0, err
-	}
-	for _, e := range ents {
-		if e.Name == name {
-			return e.Ino, nil
+	var (
+		child Ino
+		found bool
+		opErr error
+	)
+	fs.exec(parent, func() {
+		pd, err := fs.loadAlive(parent)
+		if err != nil {
+			opErr = err
+			return
 		}
+		ents, err := fs.loadTree(&pd, parent)
+		if err != nil {
+			opErr = err
+			return
+		}
+		for _, e := range ents {
+			if e.Name == name {
+				child, found = e.Ino, true
+				return
+			}
+		}
+	})
+	if opErr != nil {
+		return 0, opErr
 	}
-	return 0, fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
+	if !found {
+		return 0, fmt.Errorf("%w: %q under inode %d", ErrChildNotFound, name, parent)
+	}
+	return child, nil
 }
 
 // Children lists the links of a tree inode in insertion order.
 func (fs *FS) Children(parent Ino) ([]Dirent, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.checkInoLocked(parent); err != nil {
+	if err := fs.rangeCheck(parent); err != nil {
 		return nil, err
 	}
-	return fs.loadTreeLocked(parent)
+	var (
+		ents  []Dirent
+		opErr error
+	)
+	fs.exec(parent, func() {
+		pd, err := fs.loadAlive(parent)
+		if err != nil {
+			opErr = err
+			return
+		}
+		ents, opErr = fs.loadTree(&pd, parent)
+	})
+	return ents, opErr
 }
