@@ -717,7 +717,10 @@ func BenchmarkAccessBatch(b *testing.B) {
 					}
 				}
 			}
-			s.Rights().SetWorkers(workers)
+			workers := workers
+			if err := s.ApplyTuning(core.Tuning{RightsWorkers: &workers}); err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reps, err := s.Rights().AccessBatch(subjects)

@@ -9,8 +9,9 @@
 // different sleep granularity. What it protects are the headline scaling
 // properties: SC2's group-commit + per-shard-FS insert speedup, SC3's
 // membrane-cache read speedup plus the parallel rights-engine scaling,
-// SC4's admission-controlled goodput ratio past saturation, and SC5's
-// actor-core contention speedup plus the block cache's read absorption.
+// SC4's admission-controlled goodput ratio past saturation, SC5's
+// actor-core contention speedup plus the block cache's read absorption,
+// and SC6's control-plane convergence/band/oscillation invariants.
 //
 // A baseline entry with no generated result — or a generated result with no
 // baseline entry — is a configuration error (exit 2) named after the
@@ -173,6 +174,41 @@ func gateSC5(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress 
 	return ok, nil
 }
 
+// gateSC6 compares the control-plane headline: all four controllers
+// re-converge after each load step (controllers_converged), land within
+// their band of the hand-tuned static optimum (within_band), and hold
+// still afterwards (amplitude_bounded). SC6 is fully deterministic (pure
+// arithmetic on a sim clock), so these are expected to match the baseline
+// exactly; the regress margin only absorbs a deliberate retune.
+func gateSC6(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC6Report
+	if err := decodeReport(baseRaw, "baseline", "SC6", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC6", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC6" || len(base.Rows) == 0 || cur.Experiment != "SC6" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC6: malformed report (baseline or %s)", curPath)
+	}
+	ok := true
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"controllers_converged", base.Summary.ControllersConverged, cur.Summary.ControllersConverged},
+		{"within_band", base.Summary.WithinBand, cur.Summary.WithinBand},
+		{"amplitude_bounded", base.Summary.AmplitudeBounded, cur.Summary.AmplitudeBounded},
+	} {
+		mok, err := checkFloor(out, "SC6", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
+	}
+	return ok, nil
+}
+
 func decodeReport(raw json.RawMessage, src, exp string, v any) error {
 	if err := json.Unmarshal(raw, v); err != nil {
 		return confErrf("experiment %s: decode %s entry: %v", exp, src, err)
@@ -198,6 +234,7 @@ var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, 
 	"SC3": gateSC3,
 	"SC4": gateSC4,
 	"SC5": gateSC5,
+	"SC6": gateSC6,
 }
 
 // run executes the whole gate. It returns nil when every gated metric

@@ -7,12 +7,15 @@
 //	rgpdctl fig1
 //	rgpdctl fmt file.rgpd      # canonical formatting
 //	rgpdctl status             # boot a probe machine, print its counters
+//	rgpdctl tune [knob=value ...]   # apply a tuning document on a probe machine
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dbfs"
@@ -38,6 +41,8 @@ func main() {
 		err = cmdFig1()
 	case "status":
 		err = cmdStatus()
+	case "tune":
+		err = cmdTune(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -54,7 +59,10 @@ func usage() {
   rgpdctl purposes <file.purpose>                        validate purpose declarations
   rgpdctl fmt <file.rgpd>                                print canonical form
   rgpdctl fig1                                           render the Figure 1 dataset
-  rgpdctl status                                         boot a probe machine, print its counters`)
+  rgpdctl status                                         boot a probe machine, print its counters
+  rgpdctl tune [knob=value ...]                          apply a tuning document on a probe machine
+    knobs: commit_window=2ms group_max_batch=8 admission_max_pending=64 membrane_cache=512
+           rights_workers=4 serial_ops=true sweep_interval=30s rate_limit=<purpose>:<rate>:<burst>`)
 }
 
 func readFile(path string) (string, error) {
@@ -137,17 +145,25 @@ func cmdFmt(args []string) error {
 	return nil
 }
 
-// cmdStatus boots a small machine, runs a short PD + NPD probe workload,
-// and prints the storage-stack counters — the quickest way to see the
-// journal batching and the block buffer cache doing their jobs.
-func cmdStatus() error {
-	sys, err := core.Boot(core.Options{
+// probeOpts sizes the small machine status and tune boot. The control
+// plane is on so both commands can show live controller state.
+func probeOpts() core.Options {
+	return core.Options{
 		PDDiskBlocks:  4096,
 		NPDDiskBlocks: 1024,
 		NInodes:       512,
 		JournalBlocks: 64,
 		AuthorityBits: 1024,
-	})
+		Control:       true,
+	}
+}
+
+// cmdStatus boots a small machine, runs a short PD + NPD probe workload,
+// and prints the storage-stack counters — the quickest way to see the
+// journal batching, the block buffer cache and the self-tuning control
+// plane doing their jobs.
+func cmdStatus() error {
+	sys, err := core.Boot(probeOpts())
 	if err != nil {
 		return err
 	}
@@ -193,6 +209,126 @@ func cmdStatus() error {
 	fmt.Printf("pd disk:     reads=%d writes=%d syncs=%d\n", st.PDDisk.Reads, st.PDDisk.Writes, st.PDDisk.Syncs)
 	fmt.Printf("npd disk:    reads=%d writes=%d syncs=%d\n", st.NPDDisk.Reads, st.NPDDisk.Writes, st.NPDDisk.Syncs)
 	fmt.Printf("audit=%d denials=%d\n", st.Audit, st.Denials)
+
+	// A few control ticks over the probe traffic, then the live state.
+	for i := 0; i < 3; i++ {
+		sys.ControlTick()
+	}
+	for _, cst := range sys.Controllers() {
+		fmt.Printf("control:     %-16s %-10s knob=%-10.2f signal=%-8.3f target=%.3f±%.0f%% adjusts=%d converged=%v\n",
+			cst.Name, cst.Mode, cst.Knob, cst.Signal, cst.Target, cst.Band*100, cst.Adjusts, cst.Converged)
+	}
+	return nil
+}
+
+// printTuning renders a full tuning snapshot (all fields non-nil).
+func printTuning(t core.Tuning) {
+	fmt.Printf("  commit_window=%v group_max_batch=%d membrane_cache=%d rights_workers=%d serial_ops=%v sweep_interval=%v\n",
+		*t.CommitWindow, *t.GroupMaxBatch, *t.MembraneCache, *t.RightsWorkers, *t.SerialOps, *t.SweepInterval)
+	if t.AdmissionMaxPending != nil {
+		fmt.Printf("  admission_max_pending=%d\n", *t.AdmissionMaxPending)
+	}
+	for _, rl := range t.RateLimits {
+		fmt.Printf("  rate_limit %s: %.1f/s burst %.1f\n", rl.Purpose, rl.RatePerSec, rl.Burst)
+	}
+}
+
+// parseTuning turns knob=value arguments into a core.Tuning document.
+func parseTuning(args []string) (core.Tuning, error) {
+	var t core.Tuning
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return t, fmt.Errorf("tune: %q is not knob=value", a)
+		}
+		var err error
+		switch k {
+		case "commit_window":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				t.CommitWindow = &d
+			}
+		case "group_max_batch":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil {
+				t.GroupMaxBatch = &n
+			}
+		case "admission_max_pending":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil {
+				t.AdmissionMaxPending = &n
+			}
+		case "membrane_cache":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil {
+				t.MembraneCache = &n
+			}
+		case "rights_workers":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil {
+				t.RightsWorkers = &n
+			}
+		case "serial_ops":
+			var b bool
+			if b, err = strconv.ParseBool(v); err == nil {
+				t.SerialOps = &b
+			}
+		case "sweep_interval":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				t.SweepInterval = &d
+			}
+		case "rate_limit":
+			parts := strings.Split(v, ":")
+			if len(parts) != 3 {
+				return t, fmt.Errorf("tune: rate_limit wants <purpose>:<rate>:<burst>, got %q", v)
+			}
+			var rate, burst float64
+			if rate, err = strconv.ParseFloat(parts[1], 64); err == nil {
+				if burst, err = strconv.ParseFloat(parts[2], 64); err == nil {
+					t.RateLimits = append(t.RateLimits, core.RateLimit{
+						Purpose: parts[0], RatePerSec: rate, Burst: burst,
+					})
+				}
+			}
+		default:
+			return t, fmt.Errorf("tune: unknown knob %q (see usage)", k)
+		}
+		if err != nil {
+			return t, fmt.Errorf("tune: %s: %v", k, err)
+		}
+	}
+	return t, nil
+}
+
+// cmdTune boots a probe machine with the control plane on, shows its
+// tuning snapshot, and — when knob=value arguments are given — applies
+// them as one validated document through System.ApplyTuning, the same API
+// the controllers steer through. A document with any invalid knob applies
+// nothing.
+func cmdTune(args []string) error {
+	sys, err := core.Boot(probeOpts())
+	if err != nil {
+		return err
+	}
+	fmt.Println("tuning (boot):")
+	printTuning(sys.Tuning())
+	if len(args) == 0 {
+		for _, cst := range sys.Controllers() {
+			fmt.Printf("controller:  %-16s %-10s knob=%-10.2f target=%.3f±%.0f%%\n",
+				cst.Name, cst.Mode, cst.Knob, cst.Target, cst.Band*100)
+		}
+		return nil
+	}
+	doc, err := parseTuning(args)
+	if err != nil {
+		return err
+	}
+	if err := sys.ApplyTuning(doc); err != nil {
+		return fmt.Errorf("tune: rejected (nothing applied): %w", err)
+	}
+	fmt.Println("tuning (after ApplyTuning):")
+	printTuning(sys.Tuning())
 	return nil
 }
 

@@ -26,6 +26,7 @@ package admission
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,6 +76,51 @@ type Stats struct {
 	// measured by the caller, independent of the refill clock.
 	LatencyTotal time.Duration
 	LatencyMax   time.Duration
+	// LatencyHist buckets completed-invocation latencies by power of two:
+	// bucket i counts latencies in [2^i, 2^(i+1)) microseconds (bucket 0
+	// also absorbs sub-microsecond completions). Coarse by design — it
+	// exists so the control plane can estimate a p99 without per-sample
+	// history.
+	LatencyHist [LatencyBuckets]uint64
+}
+
+// LatencyBuckets is the histogram width: 2^29 µs ≈ 9 minutes tops.
+const LatencyBuckets = 30
+
+// latencyBucket maps a latency to its histogram bucket.
+func latencyBucket(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < LatencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Quantile estimates the q-quantile (q in [0,1], e.g. 0.99) of the
+// latencies recorded in the histogram, taking each bucket at its upper
+// bound (conservative: the estimate rounds up). Zero when empty.
+func (s Stats) Quantile(q float64) time.Duration {
+	var total uint64
+	for _, n := range s.LatencyHist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, n := range s.LatencyHist {
+		seen += n
+		if seen > rank {
+			return time.Duration(1<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return s.LatencyMax
 }
 
 // Rejected reports the total invocations shed by either mechanism.
@@ -123,6 +169,39 @@ func (c *Controller) MaxPending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.maxPending
+}
+
+// SetMaxPending changes the queue bound at runtime (n <= 0 means
+// unbounded). Lowering the bound below the current depth rejects new
+// admissions until enough in-flight invocations release — nothing already
+// admitted is cancelled.
+func (c *Controller) SetMaxPending(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxPending = n
+}
+
+// Limit is one purpose's configured rate limit, as reported by Limits.
+type Limit struct {
+	Purpose    string
+	RatePerSec float64
+	Burst      float64
+}
+
+// Limits snapshots every configured per-purpose rate limit, sorted by
+// purpose name.
+func (c *Controller) Limits() []Limit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Limit, 0, len(c.buckets))
+	for p, b := range c.buckets {
+		out = append(out, Limit{Purpose: p, RatePerSec: b.rate, Burst: b.burst})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Purpose < out[j].Purpose })
+	return out
 }
 
 // SetPurposeLimit installs (or replaces) the token bucket for a purpose:
@@ -202,6 +281,7 @@ func (c *Controller) release(latency time.Duration) {
 	if latency > c.stats.LatencyMax {
 		c.stats.LatencyMax = latency
 	}
+	c.stats.LatencyHist[latencyBucket(latency)]++
 }
 
 // Snapshot returns the current counters.

@@ -92,6 +92,7 @@ func Registry() []Experiment {
 		{ID: "SC3", Title: "Membrane cache x parallel rights: read-path throughput", Paper: "§3 ded_load_membrane cost, scaled (north star)", Run: runSC3},
 		{ID: "SC4", Title: "Admission control: goodput/rejects/p99 past saturation", Paper: "heavy-traffic enforcement, scaled (north star)", Run: runSC4},
 		{ID: "SC5", Title: "Actor inode core x block buffer cache: intra-shard contention", Paper: "§3 DBFS storage stack, scaled (north star)", Run: runSC5},
+		{ID: "SC6", Title: "Self-tuning control plane: step-response convergence", Paper: "runtime self-tuning, scaled (north star)", Run: runSC6},
 	}
 }
 

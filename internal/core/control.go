@@ -1,0 +1,280 @@
+package core
+
+// The self-tuning control plane (Options.Control): one feedback controller
+// per runtime knob, each observing counters the system already exports and
+// steering its knob exclusively through ApplyTuning — the controllers are
+// just another client of the unified tuning API, so Tuning() always shows
+// what they did and rgpdctl can override them between ticks.
+//
+//   commit-window    AIMD        group-commit occupancy (txns per group)
+//   admission-queue  AIMD        admitted-latency p99 vs Options.ControlSLO
+//   sweep-interval   hill-climb  expiries reclaimed per sweep pass
+//   membrane-cache   hill-climb  membrane-cache hit rate
+//
+// Every signal is a windowed delta — counters since the previous tick, not
+// since boot — so the controllers react to current behaviour, and every
+// Read returns the controller's own target when the window saw no traffic
+// (a neutral reading holds the knob instead of steering on silence).
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/control"
+)
+
+// Control-plane setpoints. Targets are behavioural, not load-dependent:
+// occupancy per group, latency relative to the SLO, expiries per pass, hit
+// rate — all reachable across the load range SC6 sweeps.
+const (
+	// ctlGroupOccupancy is the commit-window target batching factor: enough
+	// coalescing to amortize the journal flush, low enough that the window
+	// is not padding latency when traffic is thin.
+	ctlGroupOccupancy = 4.0
+	// ctlCommitWindowMaxMs bounds the commit window (in ms).
+	ctlCommitWindowMaxMs = 20.0
+	// ctlExpiriesPerPass is the sweep-interval target reclaim density.
+	ctlExpiriesPerPass = 8.0
+	// ctlCacheHitRate is the membrane-cache target hit rate.
+	ctlCacheHitRate = 0.9
+	// ctlCacheMin / ctlCacheMax / ctlCacheStep bound the cache capacity
+	// knob (entries).
+	ctlCacheMin  = 64.0
+	ctlCacheMax  = 65536.0
+	ctlCacheStep = 256.0
+	// ctlAdmissionDefault seeds the admission bound when the machine
+	// booted unbounded: the controller cannot steer "unbounded", so
+	// enabling the control plane installs a finite starting bound.
+	ctlAdmissionDefault = 64
+)
+
+func clampf(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// buildControlGroup wires the four controllers. Called once from Boot;
+// controllers whose subsystem is ablated away (membrane cache disabled)
+// are skipped rather than fighting the ablation.
+func (s *System) buildControlGroup() (*control.Group, error) {
+	var cs []*control.Controller
+
+	// Commit window: knob in milliseconds, signal = windowed txns/groups
+	// summed over every journal. AIMD — a too-long window pads every
+	// commit's latency, so retreat is multiplicative.
+	{
+		var mu sync.Mutex
+		var prevTxns, prevGroups uint64
+		// Seed the window with the boot-time counters so the first tick
+		// observes post-boot traffic, not Format's journal activity.
+		for _, fs := range s.pdFSs {
+			st := fs.JournalStats()
+			prevTxns += st.TxnsCommitted
+			prevGroups += st.GroupCommits
+		}
+		initial := clampf(float64(s.opts.CommitWindow)/float64(time.Millisecond), 0, ctlCommitWindowMaxMs)
+		c, err := control.New(control.Config{
+			Name:    "commit-window",
+			Mode:    control.AIMD,
+			Target:  ctlGroupOccupancy,
+			Band:    0.25,
+			Min:     0,
+			Max:     ctlCommitWindowMaxMs,
+			Initial: initial,
+			Step:    0.25,
+			Read: func() float64 {
+				var txns, groups uint64
+				for _, fs := range s.pdFSs {
+					st := fs.JournalStats()
+					txns += st.TxnsCommitted
+					groups += st.GroupCommits
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				dt, dg := txns-prevTxns, groups-prevGroups
+				prevTxns, prevGroups = txns, groups
+				if dg == 0 {
+					return ctlGroupOccupancy
+				}
+				return float64(dt) / float64(dg)
+			},
+			Apply: func(v float64) error {
+				w := time.Duration(v * float64(time.Millisecond))
+				return s.ApplyTuning(Tuning{CommitWindow: &w})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+
+	// Admission bound: knob = MaxPending, signal = windowed p99 of
+	// admitted latency over the SLO (target ratio 1.0). AIMD — queue depth
+	// past the SLO is the overload SC4 protects against, so back off hard.
+	if adm := s.ps.Admission(); adm != nil {
+		initial := s.opts.AdmissionQueue
+		if initial <= 0 {
+			initial = ctlAdmissionDefault
+			n := initial
+			if err := s.ApplyTuning(Tuning{AdmissionMaxPending: &n}); err != nil {
+				return nil, err
+			}
+		}
+		var mu sync.Mutex
+		var prev [admission.LatencyBuckets]uint64
+		slo := float64(s.opts.ControlSLO)
+		c, err := control.New(control.Config{
+			Name:    "admission-queue",
+			Mode:    control.AIMD,
+			Target:  1.0,
+			Band:    0.2,
+			Min:     1,
+			Max:     math.Max(4096, float64(initial)),
+			Initial: float64(initial),
+			Step:    4,
+			Read: func() float64 {
+				st := adm.Snapshot()
+				mu.Lock()
+				defer mu.Unlock()
+				var win admission.Stats
+				var total uint64
+				for i, n := range st.LatencyHist {
+					win.LatencyHist[i] = n - prev[i]
+					total += n - prev[i]
+				}
+				prev = st.LatencyHist
+				if total == 0 {
+					return 1.0
+				}
+				return float64(win.Quantile(0.99)) / slo
+			},
+			Apply: func(v float64) error {
+				n := int(math.Round(v))
+				return s.ApplyTuning(Tuning{AdmissionMaxPending: &n})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+
+	// Sweep interval: knob in seconds, signal = windowed expiries deleted
+	// per pass. Hill-climb — both directions cost the same (CPU spent
+	// scanning vs retention slack consumed), approach the density target
+	// in fixed steps.
+	{
+		var mu sync.Mutex
+		var prevDeleted, prevPasses uint64
+		const minS, maxS = 1.0, 900.0
+		c, err := control.New(control.Config{
+			Name:    "sweep-interval",
+			Mode:    control.HillClimb,
+			Target:  ctlExpiriesPerPass,
+			Band:    0.5,
+			Min:     minS,
+			Max:     maxS,
+			Initial: clampf(s.opts.SweepInterval.Seconds(), minS, maxS),
+			Step:    5,
+			Read: func() float64 {
+				sw := s.Sweeper()
+				if sw == nil {
+					return ctlExpiriesPerPass
+				}
+				st := sw.Stats()
+				mu.Lock()
+				defer mu.Unlock()
+				dd, dp := st.Deleted-prevDeleted, st.Passes-prevPasses
+				prevDeleted, prevPasses = st.Deleted, st.Passes
+				if dp == 0 {
+					return ctlExpiriesPerPass
+				}
+				return float64(dd) / float64(dp)
+			},
+			Apply: func(v float64) error {
+				d := time.Duration(v * float64(time.Second))
+				return s.ApplyTuning(Tuning{SweepInterval: &d})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+
+	// Membrane cache: knob = capacity in entries, signal = windowed hit
+	// rate. Hill-climb toward the target rate: grow while starved, shrink
+	// (reclaim memory) while comfortably above it. Skipped when the boot
+	// ablated the cache away — the controller must not undo an ablation.
+	if cap0 := s.store.MembraneCacheCap(); cap0 >= 0 {
+		var mu sync.Mutex
+		boot := s.store.Stats()
+		prevHits, prevMisses := boot.CacheHits, boot.CacheMisses
+		c, err := control.New(control.Config{
+			Name:    "membrane-cache",
+			Mode:    control.HillClimb,
+			Target:  ctlCacheHitRate,
+			Band:    0.05,
+			Min:     ctlCacheMin,
+			Max:     ctlCacheMax,
+			Initial: clampf(float64(cap0), ctlCacheMin, ctlCacheMax),
+			Step:    ctlCacheStep,
+			Read: func() float64 {
+				st := s.store.Stats()
+				mu.Lock()
+				defer mu.Unlock()
+				dh, dm := st.CacheHits-prevHits, st.CacheMisses-prevMisses
+				prevHits, prevMisses = st.CacheHits, st.CacheMisses
+				if dh+dm == 0 {
+					return ctlCacheHitRate
+				}
+				return float64(dh) / float64(dh+dm)
+			},
+			Apply: func(v float64) error {
+				n := int(math.Round(v))
+				return s.ApplyTuning(Tuning{MembraneCache: &n})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+
+	return control.NewGroup(s.opts.Clock, s.opts.ControlInterval, cs...), nil
+}
+
+// Controllers snapshots the control plane's controllers (nil when the
+// machine booted without Options.Control).
+func (s *System) Controllers() []control.State {
+	if s.ctl == nil {
+		return nil
+	}
+	return s.ctl.States()
+}
+
+// ControlTick steps every controller once at the current clock instant —
+// the deterministic driver simclock tests and SC6 use. No-op without
+// Options.Control.
+func (s *System) ControlTick() {
+	if s.ctl != nil {
+		s.ctl.Tick()
+	}
+}
+
+// StartControl launches the control plane's background tick loop (no-op
+// without Options.Control); StopControl halts it.
+func (s *System) StartControl() {
+	if s.ctl != nil {
+		s.ctl.Start()
+	}
+}
+
+// StopControl stops the background tick loop.
+func (s *System) StopControl() {
+	if s.ctl != nil {
+		s.ctl.Stop()
+	}
+}

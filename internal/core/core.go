@@ -13,12 +13,23 @@
 // operator would program against rgpdOS — declare types in the DSL, feed
 // collection sources, register purpose-annotated processings, ps_invoke
 // them, and serve data-subject rights.
+//
+// Runtime knobs flow through one door: ApplyTuning applies a validated
+// core.Tuning document atomically per knob (nothing applies if any knob is
+// invalid) and Tuning() snapshots the live configuration. Options.Control
+// starts the self-tuning control plane (control.go): four feedback
+// controllers from internal/control steering the WAL commit window, the
+// admission queue bound, the sweeper interval and the membrane-cache
+// capacity from the counters the system already exports — through the same
+// ApplyTuning API an operator uses. DESIGN.md ("Control plane & tuning
+// API") documents the controller law and setpoints; SC6 gates convergence.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/admission"
@@ -26,6 +37,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/builtins"
 	"repro/internal/collect"
+	"repro/internal/control"
 	"repro/internal/cryptoshred"
 	"repro/internal/dbfs"
 	"repro/internal/ded"
@@ -75,6 +87,12 @@ type Options struct {
 	// own journal) and subject shards are routed across them, so
 	// shard-disjoint inserts never share a filesystem lock. Default 1.
 	FSInstances int
+	// Shards is the DBFS subject-shard count — the unit of lock
+	// parallelism and of routing across FSInstances. 0 means
+	// dbfs.DefaultShards (64, the shard-collision sweep's pick); it must
+	// be at least FSInstances. Persisted in the store's shard config, so
+	// a remount of the same devices must not change it.
+	Shards int
 	// CommitWindow is how long each journal's group committer waits for
 	// more transactions before flushing a commit group. Default 0 (drain
 	// immediately; concurrent arrivals still coalesce).
@@ -101,9 +119,26 @@ type Options struct {
 	// with admission.ErrOverloaded instead of queueing without bound —
 	// the "heavy traffic" protection SC4 measures. Zero means unbounded
 	// admission: the controller still tracks depth, latency and
-	// per-purpose rate limits (ps.SetRateLimit, refilled off Clock), it
-	// just never rejects on depth.
+	// per-purpose rate limits (refilled off Clock), it just never rejects
+	// on depth.
 	AdmissionQueue int
+	// SweepInterval is the retention sweeper's pass cadence when
+	// StartSweeper runs it (0 = rights.DefaultSweepInterval). Runtime
+	// adjustable via ApplyTuning.
+	SweepInterval time.Duration
+	// Control enables the self-tuning control plane: one feedback
+	// controller per runtime knob (commit window, admission bound, sweep
+	// interval, membrane-cache capacity), each steering through
+	// ApplyTuning off the counters the system already exports. Snapshot
+	// via Controllers(); drive deterministically with ControlTick or in
+	// the background with StartControl.
+	Control bool
+	// ControlInterval is the control plane's tick cadence (0 =
+	// control.DefaultTickInterval).
+	ControlInterval time.Duration
+	// ControlSLO is the admitted-latency p99 objective the admission
+	// controller steers MaxPending toward (0 = 50ms).
+	ControlSLO time.Duration
 }
 
 func (o *Options) withDefaults() {
@@ -137,6 +172,15 @@ func (o *Options) withDefaults() {
 	if o.PDLatency == (blockdev.LatencyModel{}) {
 		o.PDLatency = blockdev.DefaultLatency()
 	}
+	if o.Shards == 0 {
+		o.Shards = dbfs.DefaultShards
+	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = rights.DefaultSweepInterval
+	}
+	if o.ControlSLO <= 0 {
+		o.ControlSLO = 50 * time.Millisecond
+	}
 }
 
 // System is a booted rgpdOS machine.
@@ -161,6 +205,16 @@ type System struct {
 	rights  *rights.Engine
 	sources *collect.Registry
 	acq     *builtins.Acquirer
+
+	// tuneMu serializes ApplyTuning documents (individual knob writes are
+	// already safe; the mutex makes multi-knob documents apply without
+	// interleaving) and guards the sweeper handle + desired interval.
+	tuneMu        sync.Mutex
+	sweeper       *rights.Sweeper
+	sweepInterval time.Duration
+
+	// ctl is the control plane (nil unless Options.Control).
+	ctl *control.Group
 }
 
 // Boot assembles and starts a machine.
@@ -272,7 +326,7 @@ func Boot(opts Options) (*System, error) {
 			}
 		}
 	}
-	if s.store, err = dbfs.Create(s.pdFSs, s.guard, s.vault, opts.Clock); err != nil {
+	if s.store, err = dbfs.CreateShards(s.pdFSs, s.guard, s.vault, opts.Clock, opts.Shards); err != nil {
 		return nil, fmt.Errorf("core: dbfs: %w", err)
 	}
 	if opts.MembraneCache != 0 {
@@ -300,6 +354,12 @@ func Boot(opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: builtins: %w", err)
 	}
 	s.rights = rights.New(s.ps, s.ded, s.log, opts.Clock)
+	s.sweepInterval = opts.SweepInterval
+	if opts.Control {
+		if s.ctl, err = s.buildControlGroup(); err != nil {
+			return nil, fmt.Errorf("core: control plane: %w", err)
+		}
+	}
 	return s, nil
 }
 

@@ -54,25 +54,29 @@ type cacheShard struct {
 	ver map[string]uint64
 }
 
-// membraneCache is the store-wide cache: numShards shards plus counters.
+// membraneCache is the store-wide cache: one cache shard per subject
+// shard (same count and index as the store's lock table) plus counters.
 type membraneCache struct {
-	shards    [numShards]cacheShard
+	shards    []cacheShard
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 }
 
 // newMembraneCache builds a cache bounding roughly capacity entries across
-// all shards.
-func newMembraneCache(capacity int) *membraneCache {
+// nshards shards.
+func newMembraneCache(capacity, nshards int) *membraneCache {
 	if capacity <= 0 {
 		capacity = DefaultMembraneCacheCap
 	}
-	per := (capacity + numShards - 1) / numShards
+	if nshards < 1 {
+		nshards = 1
+	}
+	per := (capacity + nshards - 1) / nshards
 	if per < 1 {
 		per = 1
 	}
-	c := &membraneCache{}
+	c := &membraneCache{shards: make([]cacheShard, nshards)}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
 			cap:     per,
@@ -82,6 +86,32 @@ func newMembraneCache(capacity int) *membraneCache {
 		}
 	}
 	return c
+}
+
+// resize re-bounds the cache to roughly capacity entries in place,
+// preserving entries, versions and counters: each shard's cap is adjusted
+// under its own mutex and overflow evicts from the LRU tail. Preserving
+// entries matters to the control plane — a capacity controller steering on
+// hit rate would oscillate forever if every adjustment wiped the cache it
+// is measuring.
+func (c *membraneCache) resize(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultMembraneCacheCap
+	}
+	per := (capacity + len(c.shards) - 1) / len(c.shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		cs := &c.shards[i]
+		cs.mu.Lock()
+		cs.cap = per
+		for cs.lru.Len() > cs.cap {
+			cs.removeLocked(cs.lru.Back())
+			c.evictions.Add(1)
+		}
+		cs.mu.Unlock()
+	}
 }
 
 // get returns a clone of the cached membrane for pdid, or nil on a miss

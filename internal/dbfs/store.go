@@ -94,20 +94,36 @@ type formatEntry struct {
 	Sensitive bool      `json:"sensitive,omitempty"`
 }
 
-// numShards sizes the subject-shard lock table. Subjects hash onto shards,
-// so operations on distinct subjects almost never contend; a power of two
-// keeps the modulo cheap.
-const numShards = 64
+// DefaultShards sizes the subject-shard lock table when no explicit count
+// is configured at Create. Subjects hash onto shards, so operations on
+// distinct subjects almost never contend; the SC3 shard-collision sweep
+// (TestShardBalanceSweep) picked 64 as the largest count keeping
+// worst-shard skew near 1x at realistic subject populations.
+const DefaultShards = 64
 
-// NumShards is the size of the subject-shard lock table, exported so
-// shard-scoped callers (the rights engine's retention due-index) can size
-// their own per-shard state congruently.
-const NumShards = numShards
+// NumShards is the default shard count under its historical name.
+//
+// Deprecated: the shard count is a mount-time option (core.Options.Shards /
+// CreateShards) — size shard-congruent state from Store.NumShards()
+// instead. Retained so default-geometry callers keep compiling.
+const NumShards = DefaultShards
 
-// ShardOf reports the subject-shard index a subject ID hashes to. The
-// hash is a pure function of the ID, so the mapping is stable across
-// stores and remounts.
-func ShardOf(subjectID string) uint32 { return shardIndex(subjectID) }
+// hashSubject is the raw FNV-1a hash of a subject ID (inline: this runs on
+// every record operation, so it must not allocate).
+func hashSubject(subjectID string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(subjectID); i++ {
+		h = (h ^ uint32(subjectID[i])) * 16777619
+	}
+	return h
+}
+
+// ShardOf reports the subject-shard index a subject ID hashes to under the
+// DEFAULT geometry (DefaultShards). The hash is a pure function of the ID,
+// so the mapping is stable across stores and remounts — the property the
+// ROADMAP multi-node router builds on. Stores mounted with a custom shard
+// count route through the Store.ShardOf method instead.
+func ShardOf(subjectID string) uint32 { return hashSubject(subjectID) % DefaultShards }
 
 // Store is the mounted DBFS. All methods demand an LSM token carrying
 // CapDBFS. Safe for concurrent use.
@@ -123,7 +139,7 @@ func ShardOf(subjectID string) uint32 { return shardIndex(subjectID) }
 // crypto under the subject's shard lock (blocking only that shard), because
 // sealing/unsealing there must serialize with key shredding.
 //
-// Storage is shard-routed too: each of the numShards subject shards maps to
+// Storage is shard-routed too: each subject shard maps to
 // one of N inode filesystem instances (shard mod N), each with its own
 // superblock, allocation bitmap and journal — typically one
 // blockdev.Partition of the PD disk per instance. Shard-disjoint inserts
@@ -147,13 +163,22 @@ type Store struct {
 	// nextSeq.
 	seqHighs map[string]uint64
 
-	// shards serialize per-subject record state; see shardOf.
-	shards [numShards]sync.RWMutex
+	// nshards is the subject-shard count, fixed at Create and persisted in
+	// the per-instance shard config (remounts validate it); shards is the
+	// lock table it sizes. See shardOf.
+	nshards uint32
+	shards  []sync.RWMutex
 
-	// mcache memoizes decoded membranes per record (see cache.go); nil when
-	// disabled. Maintained under the shard locks, so readers can never
-	// observe a membrane older than the last committed mutation.
-	mcache *membraneCache
+	// mcache memoizes decoded membranes per record (see cache.go); a nil
+	// pointer means caching is disabled. Entries are maintained under the
+	// shard locks, so readers can never observe a membrane older than the
+	// last committed mutation; the pointer itself is atomic so the cache
+	// can be resized (in place, entries preserved) or enabled/disabled at
+	// runtime — a swapped-in cache starts empty and refills under the
+	// shard locks, which keeps the coherence argument intact. mcacheCap
+	// remembers the configured capacity (-1 disabled) for snapshots.
+	mcache    atomic.Pointer[membraneCache]
+	mcacheCap atomic.Int64
 
 	// expiryNote, when set, observes the retention deadline
 	// (CreatedAt+TTL) of every membrane as it is persisted — the feed for
@@ -167,7 +192,7 @@ type Store struct {
 	// subject-scoped scans (ListBySubject and batched membrane fetches).
 	// The retention sweeper's skip-untouched-shards property is asserted
 	// against these counters.
-	scanLocks [numShards]atomic.Uint64
+	scanLocks []atomic.Uint64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -190,14 +215,15 @@ type shardRef struct {
 	tablesRoot inode.Ino
 }
 
-// shardIndex hashes a subject ID onto its shard (inline FNV-1a: this runs
-// on every record operation, so it must not allocate).
-func shardIndex(subjectID string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(subjectID); i++ {
-		h = (h ^ uint32(subjectID[i])) * 16777619
-	}
-	return h % numShards
+// NumShards reports the store's subject-shard count — the size callers
+// with shard-congruent state (the rights due-index) size themselves to.
+func (s *Store) NumShards() int { return int(s.nshards) }
+
+// ShardOf reports the subject-shard index a subject ID hashes to under
+// this store's geometry. Stable across remounts (the shard count is
+// persisted and validated at Open).
+func (s *Store) ShardOf(subjectID string) uint32 {
+	return hashSubject(subjectID) % s.nshards
 }
 
 // shardAt resolves a shard index to its lock and filesystem instance.
@@ -214,7 +240,7 @@ func (s *Store) shardAt(shard uint32) shardRef {
 
 // shardOf maps a subject ID onto its lock shard and filesystem instance.
 func (s *Store) shardOf(subjectID string) shardRef {
-	return s.shardAt(shardIndex(subjectID))
+	return s.shardAt(s.ShardOf(subjectID))
 }
 
 // metaFS is the instance holding cross-subject metadata.
@@ -231,30 +257,33 @@ func (s *Store) bumpStats(f func(*Stats)) {
 }
 
 // Create formats the DBFS trees across freshly formatted inode filesystem
-// instances. Every instance gets its own "subjects" and "tables" major
-// trees; instance 0 additionally holds the schema and format trees. The
-// subject-shard → instance routing is shard mod len(fss), so the instance
-// count must stay the same across remounts of the same devices.
+// instances with the default shard count. See CreateShards.
 func Create(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	return CreateShards(fss, guard, vault, clock, DefaultShards)
+}
+
+// CreateShards formats the DBFS trees across freshly formatted inode
+// filesystem instances with an explicit subject-shard count (0 means
+// DefaultShards). Every instance gets its own "subjects" and "tables"
+// major trees; instance 0 additionally holds the schema and format trees.
+// The subject-shard → instance routing is shard mod len(fss), so the shard
+// and instance counts are persisted per instance and must stay the same
+// across remounts of the same devices (Open validates both). shards must
+// be at least len(fss), or trailing instances could never receive traffic.
+func CreateShards(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock, shards int) (*Store, error) {
 	if len(fss) == 0 {
 		return nil, fmt.Errorf("dbfs: need at least one filesystem instance")
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards < len(fss) {
+		return nil, fmt.Errorf("dbfs: shard count %d below instance count %d — instances would be unreachable", shards, len(fss))
 	}
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	s := &Store{
-		fss:          fss,
-		guard:        guard,
-		vault:        vault,
-		clock:        clock,
-		schemas:      make(map[string]*Schema),
-		formats:      make(map[string][]formatEntry),
-		seqs:         make(map[string]uint64),
-		seqHighs:     make(map[string]uint64),
-		subjectRoots: make([]inode.Ino, len(fss)),
-		tablesRoots:  make([]inode.Ino, len(fss)),
-		mcache:       newMembraneCache(0),
-	}
+	s := newStore(fss, guard, vault, clock, uint32(shards))
 	for _, spec := range []struct {
 		name string
 		dst  *inode.Ino
@@ -288,9 +317,10 @@ func Create(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock s
 			}
 			*spec.dst = ino
 		}
-		var cfg [16]byte
+		var cfg [24]byte
 		binary.LittleEndian.PutUint64(cfg[0:], uint64(len(fss)))
 		binary.LittleEndian.PutUint64(cfg[8:], uint64(i))
+		binary.LittleEndian.PutUint64(cfg[16:], uint64(shards))
 		if _, err := s.writeFileInode(fs, inode.RootIno, shardCfgName, "shard-config", cfg[:]); err != nil {
 			return nil, fmt.Errorf("dbfs: create shard config on instance %d: %w", i, err)
 		}
@@ -298,17 +328,8 @@ func Create(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock s
 	return s, nil
 }
 
-// Open mounts an existing DBFS from its mounted instances (same order and
-// count as at Create): it resolves the major trees on every instance, then
-// loads every schema and the format descriptors from instance 0 (the
-// once-per-session read).
-func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
-	if len(fss) == 0 {
-		return nil, fmt.Errorf("dbfs: need at least one filesystem instance")
-	}
-	if clock == nil {
-		clock = simclock.Real{}
-	}
+// newStore builds the in-memory Store shell for nshards subject shards.
+func newStore(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock, nshards uint32) *Store {
 	s := &Store{
 		fss:          fss,
 		guard:        guard,
@@ -320,9 +341,60 @@ func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock sim
 		seqHighs:     make(map[string]uint64),
 		subjectRoots: make([]inode.Ino, len(fss)),
 		tablesRoots:  make([]inode.Ino, len(fss)),
-		mcache:       newMembraneCache(0),
+		nshards:      nshards,
+		shards:       make([]sync.RWMutex, nshards),
+		scanLocks:    make([]atomic.Uint64, nshards),
 	}
-	var err error
+	s.mcache.Store(newMembraneCache(0, int(nshards)))
+	s.mcacheCap.Store(DefaultMembraneCacheCap)
+	return s
+}
+
+// readShardCfg loads one instance's persisted shard config. The current
+// format is 24 bytes (instance count, instance index, subject-shard
+// count); 16-byte configs written before the shard count was persisted are
+// accepted and mean DefaultShards.
+func readShardCfg(fs *inode.FS) (count, idx, shards uint64, err error) {
+	cfgIno, err := fs.Lookup(inode.RootIno, shardCfgName)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("shard config: %w", err)
+	}
+	raw, err := readAll(fs, cfgIno)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad shard config: %w", err)
+	}
+	switch len(raw) {
+	case 16:
+		shards = DefaultShards
+	case 24:
+		shards = binary.LittleEndian.Uint64(raw[16:])
+		if shards == 0 {
+			return 0, 0, 0, fmt.Errorf("bad shard config: zero shard count")
+		}
+	default:
+		return 0, 0, 0, fmt.Errorf("bad shard config: %d bytes, want 16 or 24", len(raw))
+	}
+	return binary.LittleEndian.Uint64(raw[0:]), binary.LittleEndian.Uint64(raw[8:]), shards, nil
+}
+
+// Open mounts an existing DBFS from its mounted instances (same order and
+// count as at Create): it reads the persisted shard geometry (instance
+// count and subject-shard count — both fixed at Create, both validated on
+// every instance so remounts can never silently re-route subjects),
+// resolves the major trees on every instance, then loads every schema and
+// the format descriptors from instance 0 (the once-per-session read).
+func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock simclock.Clock) (*Store, error) {
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("dbfs: need at least one filesystem instance")
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	_, _, nsh, err := readShardCfg(fss[0])
+	if err != nil {
+		return nil, fmt.Errorf("dbfs: open instance 0: %w", err)
+	}
+	s := newStore(fss, guard, vault, clock, uint32(nsh))
 	if s.schemaRoot, err = s.metaFS().Lookup(inode.RootIno, schemaRootName); err != nil {
 		return nil, fmt.Errorf("dbfs: open: %w", err)
 	}
@@ -336,22 +408,17 @@ func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock sim
 		if s.tablesRoots[i], err = fs.Lookup(inode.RootIno, tablesRootName); err != nil {
 			return nil, fmt.Errorf("dbfs: open instance %d: %w", i, err)
 		}
-		cfgIno, err := fs.Lookup(inode.RootIno, shardCfgName)
+		count, idx, sh, err := readShardCfg(fs)
 		if err != nil {
-			return nil, fmt.Errorf("dbfs: open instance %d: shard config: %w", i, err)
+			return nil, fmt.Errorf("dbfs: open instance %d: %w", i, err)
 		}
-		raw, err := readAll(fs, cfgIno)
-		if err != nil {
-			return nil, fmt.Errorf("dbfs: open instance %d: bad shard config: %w", i, err)
-		}
-		if len(raw) != 16 {
-			return nil, fmt.Errorf("dbfs: open instance %d: bad shard config: %d bytes, want 16", i, len(raw))
-		}
-		count := binary.LittleEndian.Uint64(raw[0:])
-		idx := binary.LittleEndian.Uint64(raw[8:])
 		if count != uint64(len(fss)) || idx != uint64(i) {
 			return nil, fmt.Errorf("dbfs: open instance %d: shard config says instance %d of %d, got %d of %d — shard routing would change",
 				i, idx, count, i, len(fss))
+		}
+		if sh != nsh {
+			return nil, fmt.Errorf("dbfs: open instance %d: shard config says %d subject shards, instance 0 says %d — shard routing would change",
+				i, sh, nsh)
 		}
 	}
 	meta := s.metaFS()
@@ -448,8 +515,8 @@ func (s *Store) Stats() Stats {
 	s.statsMu.Lock()
 	st := s.stats
 	s.statsMu.Unlock()
-	if s.mcache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.mcache.counters()
+	if mc := s.mcache.Load(); mc != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = mc.counters()
 	}
 	for _, fs := range s.fss {
 		ds := fs.CacheStats()
@@ -483,8 +550,8 @@ func (s *Store) noteExpiry(m *membrane.Membrane) {
 // passes (ListBySubject calls and per-shard GetMembranes groups) have
 // touched it. A shard the retention sweeper skipped shows an unchanged
 // counter — the observable form of "no due records ⇒ no shard lock".
-func (s *Store) ShardScans() [NumShards]uint64 {
-	var out [NumShards]uint64
+func (s *Store) ShardScans() []uint64 {
+	out := make([]uint64, len(s.scanLocks))
 	for i := range s.scanLocks {
 		out[i] = s.scanLocks[i].Load()
 	}
@@ -494,15 +561,35 @@ func (s *Store) ShardScans() [NumShards]uint64 {
 // ConfigureMembraneCache resizes (or disables) the decoded-membrane cache:
 // capacity 0 restores the default bound (DefaultMembraneCacheCap), a
 // negative capacity disables caching entirely — the ablation configuration
-// benchmarks compare against. Existing entries are discarded. Call it at
-// mount time, before the store serves concurrent traffic.
+// benchmarks compare against. Safe at runtime: resizing an enabled cache
+// preserves its entries (per-shard cap adjustment with LRU overflow
+// eviction), while disable/enable transitions swap the cache pointer —
+// a freshly enabled cache starts empty and refills under the shard locks.
+//
+// Deprecated: when the store is owned by a core.System, tune it through
+// System.ApplyTuning (core.Tuning.MembraneCache). Direct use remains
+// correct for standalone stores and ablation tests.
 func (s *Store) ConfigureMembraneCache(capacity int) {
 	if capacity < 0 {
-		s.mcache = nil
+		s.mcacheCap.Store(-1)
+		s.mcache.Store(nil)
 		return
 	}
-	s.mcache = newMembraneCache(capacity)
+	eff := capacity
+	if eff == 0 {
+		eff = DefaultMembraneCacheCap
+	}
+	s.mcacheCap.Store(int64(eff))
+	if mc := s.mcache.Load(); mc != nil {
+		mc.resize(eff)
+		return
+	}
+	s.mcache.Store(newMembraneCache(eff, int(s.nshards)))
 }
+
+// MembraneCacheCap reports the configured membrane-cache capacity:
+// -1 when disabled, otherwise the effective store-wide entry bound.
+func (s *Store) MembraneCacheCap() int { return int(s.mcacheCap.Load()) }
 
 // schemaFor resolves a type's schema under the meta lock. Schemas are
 // immutable once created, so the returned pointer is safe to use lock-free.
@@ -850,10 +937,10 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 	if _, err := s.writeFileInode(sr.fs, tree, recName+memSuffix, "membrane", memBytes); err != nil {
 		return fail(err)
 	}
-	if s.mcache != nil {
+	if mc := s.mcache.Load(); mc != nil {
 		// m is private to this insert (cloned or schema-built above), so the
 		// write-through costs one clone and first reads decode nothing.
-		s.mcache.writeThrough(sr.idx, pdid, m)
+		mc.writeThrough(sr.idx, pdid, m)
 	}
 	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.Inserts++ })
@@ -913,8 +1000,8 @@ func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, er
 // which is what makes a cache fill here coherent — no mutator can commit
 // concurrently, so the filled value is the freshest stored state.
 func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error) {
-	if s.mcache != nil {
-		if m := s.mcache.get(sr.idx, r.pdid); m != nil {
+	if mc := s.mcache.Load(); mc != nil {
+		if m := mc.get(sr.idx, r.pdid); m != nil {
 			s.bumpStats(func(st *Stats) { st.MembraneReads++ })
 			return m, nil
 		}
@@ -931,8 +1018,8 @@ func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error
 	if err != nil {
 		return nil, fmt.Errorf("dbfs: membrane %s: %w", r.pdid, err)
 	}
-	if s.mcache != nil {
-		s.mcache.fill(sr.idx, r.pdid, m)
+	if mc := s.mcache.Load(); mc != nil {
+		mc.fill(sr.idx, r.pdid, m)
 	}
 	s.bumpStats(func(st *Stats) { st.MembraneReads++ })
 	return m, nil
@@ -958,7 +1045,7 @@ func (s *Store) GetMembranes(tok *lsm.Token, pdids []string) ([]*membrane.Membra
 		if err != nil {
 			return nil, err
 		}
-		shard := shardIndex(r.subjectID)
+		shard := s.ShardOf(r.subjectID)
 		groups[shard] = append(groups[shard], item{idx: i, r: r})
 	}
 	for shard, items := range groups {
@@ -1055,8 +1142,8 @@ func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) erro
 		s.cacheInvalidate(sr, r.pdid)
 		return err
 	}
-	if s.mcache != nil {
-		s.mcache.writeThrough(sr.idx, r.pdid, m)
+	if mc := s.mcache.Load(); mc != nil {
+		mc.writeThrough(sr.idx, r.pdid, m)
 	}
 	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
@@ -1066,8 +1153,8 @@ func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) erro
 // cacheInvalidate bumps a record's cache version and drops its entry; caller
 // holds the subject's shard write lock.
 func (s *Store) cacheInvalidate(sr shardRef, pdid string) {
-	if s.mcache != nil {
-		s.mcache.invalidate(sr.idx, pdid)
+	if mc := s.mcache.Load(); mc != nil {
+		mc.invalidate(sr.idx, pdid)
 	}
 }
 
@@ -1264,8 +1351,8 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 	}
 	// The record is now invisible; forget it in the cache so no read can
 	// resurrect the membrane of a half-deleted record.
-	if s.mcache != nil {
-		s.mcache.drop(sr.idx, pdid)
+	if mc := s.mcache.Load(); mc != nil {
+		mc.drop(sr.idx, pdid)
 	}
 	if err := sr.fs.FreeInode(memIno); err != nil {
 		return err

@@ -464,10 +464,20 @@ func (fs *FS) CacheStats() blockdev.Stats { return fs.dev.Stats() }
 // filesystem (see wal.Log.Configure). Format applies Options.CommitWindow
 // and GroupMaxBatch itself; Mount cannot take options without breaking its
 // signature, so remount paths that need a tuned window — or the
-// group-commit-disabled ablation baseline — call this right after Mount,
-// before concurrent use.
+// group-commit-disabled ablation baseline — call this right after Mount.
+// Safe at runtime: the journal re-reads both parameters per commit group.
+//
+// Deprecated: when the filesystem is owned by a core.System, tune it
+// through System.ApplyTuning (core.Tuning.CommitWindow/GroupMaxBatch) so
+// the tuning snapshot and the control plane stay coherent. Direct use
+// remains correct for standalone FS instances.
 func (fs *FS) ConfigureJournal(window time.Duration, maxBatch int) {
 	fs.log.Configure(window, maxBatch)
+}
+
+// JournalConfig reports the current group-commit parameters.
+func (fs *FS) JournalConfig() (window time.Duration, maxBatch int) {
+	return fs.log.Config()
 }
 
 // SetSerialOps switches the filesystem into the pre-actor ablation mode:
@@ -475,7 +485,14 @@ func (fs *FS) ConfigureJournal(window time.Duration, maxBatch int) {
 // one mutex, reproducing the old single-fs.mu behaviour for baseline
 // measurements (SC5). Durability waits still happen outside the lock, as
 // they always did. Switch only while the filesystem is idle.
+//
+// Deprecated: when the filesystem is owned by a core.System, toggle it
+// through System.ApplyTuning (core.Tuning.SerialOps). Direct use remains
+// correct for standalone FS instances (SC5's ablation).
 func (fs *FS) SetSerialOps(on bool) { fs.serialOps.Store(on) }
+
+// SerialOps reports whether the serial-ablation mode is on.
+func (fs *FS) SerialOps() bool { return fs.serialOps.Load() }
 
 // --- actor machinery ---
 

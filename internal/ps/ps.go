@@ -170,16 +170,33 @@ func (s *Store) DefaultWorkers() int {
 // InvokeBatch. Admission applies at submission time to non-maintenance
 // requests; maintenance invocations (rights execution — a legal
 // obligation) are never shed. Passing nil removes admission control.
+//
+// Deprecated: core.Boot installs the controller; runtime changes to its
+// parameters go through System.ApplyTuning (core.Tuning.AdmissionMaxPending)
+// rather than swapping the controller, which would discard its counters.
 func (s *Store) ConfigureAdmission(c *admission.Controller) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.adm = c
 }
 
+// Admission returns the installed admission controller (nil when
+// admission control is off) — the handle the core tuning API adjusts
+// bounds and rate limits through.
+func (s *Store) Admission() *admission.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm
+}
+
 // SetRateLimit installs a token-bucket rate limit (ratePerSec, burst) for
 // one purpose, keyed by the purpose registry: the purpose must name a
 // registered processing, so limits cannot silently target a typo. A rate
 // <= 0 removes the limit. Requires a configured admission controller.
+//
+// Deprecated: when the store is owned by a core.System, set limits through
+// System.ApplyTuning (core.Tuning.RateLimits) so the tuning snapshot stays
+// coherent. The registry validation lives here either way.
 func (s *Store) SetRateLimit(purposeName string, ratePerSec, burst float64) error {
 	s.mu.Lock()
 	c := s.adm

@@ -64,14 +64,20 @@ func New(p *ps.Store, d *ded.DED, log *audit.Log, clock simclock.Clock) *Engine 
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	e := &Engine{ps: p, d: d, log: log, clock: clock, due: &dueIndex{}}
-	d.Store().SetExpiryNotifier(e.due.note)
+	store := d.Store()
+	e := &Engine{ps: p, d: d, log: log, clock: clock,
+		due: newDueIndex(store.NumShards(), store.ShardOf)}
+	store.SetExpiryNotifier(e.due.note)
 	return e
 }
 
 // SetWorkers overrides the per-record fan-out width of the cross-record
 // rights. Zero (the default) follows the Processing Store's pool size; one
 // restores the serial PR-2 behaviour (the SC3 ablation baseline).
+//
+// Deprecated: when the engine is owned by a core.System, set the width
+// through System.ApplyTuning (core.Tuning.RightsWorkers). Direct use
+// remains correct for standalone engines and ablation tests.
 func (e *Engine) SetWorkers(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -79,6 +85,14 @@ func (e *Engine) SetWorkers(n int) {
 		n = 0
 	}
 	e.workers = n
+}
+
+// Workers reports the configured override (0 = follow the Processing
+// Store's pool size).
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
 }
 
 // workerCount resolves the effective fan-out width.

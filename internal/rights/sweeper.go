@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"repro/internal/builtins"
-	"repro/internal/dbfs"
 	"repro/internal/ps"
 	"repro/internal/simclock"
 )
@@ -42,7 +41,18 @@ type dueIndex struct {
 	kickMu sync.Mutex
 	kick   func() // sweeper wakeup, set while a Sweeper runs
 
-	shards [dbfs.NumShards]dueShard
+	// shardOf and shards mirror the store's subject-shard geometry (count
+	// and hash), fixed at construction — see newDueIndex.
+	shardOf func(subjectID string) uint32
+	shards  []dueShard
+}
+
+// newDueIndex builds an index with nshards shards routed by shardOf —
+// always the owning store's geometry, so "shards with no due records take
+// no shard lock" stays exact whatever shard count the store was mounted
+// with.
+func newDueIndex(nshards int, shardOf func(string) uint32) *dueIndex {
+	return &dueIndex{shardOf: shardOf, shards: make([]dueShard, nshards)}
 }
 
 // dueShard is one shard's slice of the index.
@@ -97,7 +107,7 @@ func (ix *dueIndex) rearm(subjectID string, expiry time.Time) {
 }
 
 func (ix *dueIndex) noteDeadline(subjectID string, expiry time.Time, kick bool) {
-	d := &ix.shards[dbfs.ShardOf(subjectID)]
+	d := &ix.shards[ix.shardOf(subjectID)]
 	d.mu.Lock()
 	if d.scanning {
 		if cur, ok := d.fresh[subjectID]; !ok || expiry.Before(cur) {
@@ -297,7 +307,7 @@ func (e *Engine) sweepOnce() ([]string, sweepPassInfo, error) {
 		}
 		byShard := make(map[uint32][]string)
 		for _, s := range subjects {
-			sh := dbfs.ShardOf(s)
+			sh := store.ShardOf(s)
 			byShard[sh] = append(byShard[sh], s)
 		}
 		shs := make([]uint32, 0, len(byShard))
@@ -436,13 +446,13 @@ type SweeperOptions struct {
 // ticker-driven loop firing scoped SweepExpired passes. Start/Stop are
 // idempotent and a stopped sweeper can be restarted.
 type Sweeper struct {
-	eng      *Engine
-	interval time.Duration
-	// wake is the kick channel: deadline notifications, Sync and Stop
-	// nudge the loop out of its clock wait.
+	eng *Engine
+	// wake is the kick channel: deadline notifications, Sync, Stop and
+	// SetInterval nudge the loop out of its clock wait.
 	wake chan struct{}
 
 	mu          sync.Mutex
+	interval    time.Duration
 	cond        *sync.Cond
 	running     bool
 	stop        chan struct{}
@@ -452,15 +462,39 @@ type Sweeper struct {
 	stats       SweeperStats
 }
 
+// DefaultSweepInterval is the fallback pass cadence when
+// SweeperOptions.Interval is unset.
+const DefaultSweepInterval = time.Minute
+
 // NewSweeper builds a sweeper for the engine. Call Start to run it.
 func NewSweeper(e *Engine, opts SweeperOptions) *Sweeper {
 	iv := opts.Interval
 	if iv <= 0 {
-		iv = time.Minute
+		iv = DefaultSweepInterval
 	}
 	sw := &Sweeper{eng: e, interval: iv, wake: make(chan struct{}, 1)}
 	sw.cond = sync.NewCond(&sw.mu)
 	return sw
+}
+
+// Interval reports the current pass cadence.
+func (sw *Sweeper) Interval() time.Duration {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.interval
+}
+
+// SetInterval changes the pass cadence at runtime (d <= 0 restores
+// DefaultSweepInterval) and kicks a sleeping loop so the new cadence takes
+// effect immediately rather than after the old interval elapses.
+func (sw *Sweeper) SetInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultSweepInterval
+	}
+	sw.mu.Lock()
+	sw.interval = d
+	sw.mu.Unlock()
+	sw.kickWake()
 }
 
 // StartSweeper builds and starts a background sweeper on the engine.
@@ -567,6 +601,7 @@ func (sw *Sweeper) loop(stop, done chan struct{}) {
 		sw.mu.Lock()
 		forced := sw.forced
 		sw.forced = false
+		interval := sw.interval
 		sw.mu.Unlock()
 		run := forced
 		if !run && !ranPass {
@@ -579,7 +614,7 @@ func (sw *Sweeper) loop(stop, done chan struct{}) {
 			ranPass = true
 			continue
 		}
-		target := now.Add(sw.interval)
+		target := now.Add(interval)
 		if e, ok := sw.eng.due.earliestDeadline(); ok {
 			// Wake at the first instant strictly after the deadline
 			// (expiry is strict-after). A deadline already in the past

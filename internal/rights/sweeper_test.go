@@ -279,7 +279,7 @@ func TestScopedSweepSkipsUntouchedShards(t *testing.T) {
 	subjB := ""
 	for i := 0; i < 1000 && subjB == ""; i++ {
 		cand := fmt.Sprintf("shard-b-%d", i)
-		if dbfs.ShardOf(cand) != dbfs.ShardOf(subjA) {
+		if r.store.ShardOf(cand) != r.store.ShardOf(subjA) {
 			subjB = cand
 		}
 	}
@@ -304,7 +304,7 @@ func TestScopedSweepSkipsUntouchedShards(t *testing.T) {
 		t.Fatalf("scoped sweep deleted %v, want [%s]", deleted, pdA)
 	}
 	after := r.store.ShardScans()
-	shardA := dbfs.ShardOf(subjA)
+	shardA := r.store.ShardOf(subjA)
 	if after[shardA] <= before[shardA] {
 		t.Fatalf("due shard %d took no scan lock (before %d, after %d)", shardA, before[shardA], after[shardA])
 	}

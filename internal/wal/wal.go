@@ -118,10 +118,9 @@ type Log struct {
 	start  uint64
 	length uint64
 
-	window   time.Duration
-	maxBatch int
-
 	mu         sync.Mutex
+	window     time.Duration
+	maxBatch   int
 	idle       sync.Cond // signaled when no transaction is queued or in flight
 	head       uint64    // next journal-region block index to write (relative)
 	seq        uint64    // next transaction id
@@ -160,7 +159,10 @@ func Open(dev blockdev.Device, start, length uint64) (*Log, error) {
 // woken committer waits for more transactions to arrive before draining the
 // queue (0 = drain immediately, batching only what queued during the
 // previous flush); maxBatch bounds transactions per group (<= 0 restores
-// DefaultGroupBatch, 1 disables batching). Call before concurrent use.
+// DefaultGroupBatch, 1 disables batching). Safe to call at any time, even
+// with transactions in flight: the committer re-reads both parameters
+// under the lock, so a running group finishes with the values it started
+// with and the next group picks up the new ones.
 func (l *Log) Configure(window time.Duration, maxBatch int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -169,6 +171,13 @@ func (l *Log) Configure(window time.Duration, maxBatch int) {
 	}
 	l.window = window
 	l.maxBatch = maxBatch
+}
+
+// Config reports the current group-commit parameters.
+func (l *Log) Config() (window time.Duration, maxBatch int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.window, l.maxBatch
 }
 
 // Stats returns a snapshot of the journal counters.
@@ -366,8 +375,11 @@ func (l *Log) takeBatchLocked() ([]*pendingTxn, uint64) {
 // exits; the next Enqueue starts a fresh one. Only one committer runs at a
 // time, so groups are logged and checkpointed strictly in queue order.
 func (l *Log) committer() {
-	if l.window > 0 {
-		time.Sleep(l.window)
+	l.mu.Lock()
+	window := l.window
+	l.mu.Unlock()
+	if window > 0 {
+		time.Sleep(window)
 	}
 	for {
 		l.mu.Lock()
