@@ -78,6 +78,36 @@ func checkFloor(out io.Writer, exp, metric string, base, cur, maxRegress float64
 	return true, nil
 }
 
+// checkCeiling is checkFloor's dual for lower-is-better metrics (cost
+// ratios): the current value must stay under baseline * (1 + maxRegress).
+// A zero baseline would again disable the gate, so it is a configuration
+// error.
+func checkCeiling(out io.Writer, exp, metric string, base, cur, maxRegress float64) (bool, error) {
+	if base <= 0 {
+		return false, confErrf("experiment %s: baseline summary metric %q is %.2f — absent or mistyped in the baseline, which would disable the gate",
+			exp, metric, base)
+	}
+	ceil := base * (1 + maxRegress)
+	fmt.Fprintf(out, "benchgate: %s %-24s baseline=%.2f current=%.2f ceiling=%.2f\n",
+		exp, metric, base, cur, ceil)
+	if cur > ceil {
+		fmt.Fprintf(out, "benchgate: FAIL — %s %s grew more than %.0f%% (%.2f > %.2f)\n",
+			exp, metric, maxRegress*100, cur, ceil)
+		return false, nil
+	}
+	return true, nil
+}
+
+// checkInvariant is for correctness properties that are pass/fail, not
+// floors: the current run must hold them regardless of regress margin.
+func checkInvariant(out io.Writer, exp, name string, held bool) bool {
+	fmt.Fprintf(out, "benchgate: %s %-24s invariant=%v\n", exp, name, held)
+	if !held {
+		fmt.Fprintf(out, "benchgate: FAIL — %s invariant %s does not hold\n", exp, name)
+	}
+	return held
+}
+
 // gateSC2 compares the SC2 storage-stack speedup.
 func gateSC2(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
 	var base, cur bench.SC2Report
@@ -209,6 +239,57 @@ func gateSC6(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress 
 	return ok, nil
 }
 
+// gateSC7 compares the cold-tier headline: the archive footprint
+// reduction holds its floor, the hot-path device-op ratio and per-record
+// promotion cost stay under their ceilings, re-demotion still dedups, and
+// the shred-safety properties hold exactly — they are correctness
+// invariants (a shredded record's archived and snapshotted copies decode
+// to nothing, zero plaintext residue), so no regress margin applies.
+func gateSC7(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC7Report
+	if err := decodeReport(baseRaw, "baseline", "SC7", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC7", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC7" || len(base.Rows) == 0 || cur.Experiment != "SC7" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC7: malformed report (baseline or %s)", curPath)
+	}
+	ok := true
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"footprint_ratio", base.Summary.FootprintRatio, cur.Summary.FootprintRatio},
+		{"redemotion_dedup_hits", float64(base.Summary.RedemotionDedupHits), float64(cur.Summary.RedemotionDedupHits)},
+	} {
+		mok, err := checkFloor(out, "SC7", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
+	}
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"hot_path_ops_ratio", base.Summary.HotPathOpsRatio, cur.Summary.HotPathOpsRatio},
+		{"promote_ops_per_record", base.Summary.PromoteOpsPerRecord, cur.Summary.PromoteOpsPerRecord},
+	} {
+		mok, err := checkCeiling(out, "SC7", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
+	}
+	ok = checkInvariant(out, "SC7", "archive_undecodable", cur.Summary.ArchiveUndecodable) && ok
+	ok = checkInvariant(out, "SC7", "snapshot_undecodable", cur.Summary.SnapshotUndecodable) && ok
+	ok = checkInvariant(out, "SC7", "plaintext_residue_zero", cur.Summary.PlaintextResidueHits == 0) && ok
+	ok = checkInvariant(out, "SC7", "redemotion_no_new_bytes", cur.Summary.RedemotionNewBytes == 0) && ok
+	return ok, nil
+}
+
 func decodeReport(raw json.RawMessage, src, exp string, v any) error {
 	if err := json.Unmarshal(raw, v); err != nil {
 		return confErrf("experiment %s: decode %s entry: %v", exp, src, err)
@@ -235,6 +316,7 @@ var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, 
 	"SC4": gateSC4,
 	"SC5": gateSC5,
 	"SC6": gateSC6,
+	"SC7": gateSC7,
 }
 
 // run executes the whole gate. It returns nil when every gated metric

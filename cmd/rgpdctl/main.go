@@ -62,7 +62,8 @@ func usage() {
   rgpdctl status                                         boot a probe machine, print its counters
   rgpdctl tune [knob=value ...]                          apply a tuning document on a probe machine
     knobs: commit_window=2ms group_max_batch=8 admission_max_pending=64 membrane_cache=512
-           rights_workers=4 serial_ops=true sweep_interval=30s rate_limit=<purpose>:<rate>:<burst>`)
+           rights_workers=4 serial_ops=true sweep_interval=30s rate_limit=<purpose>:<rate>:<burst>
+           cold_after=1h repack_interval=1m`)
 }
 
 func readFile(path string) (string, error) {
@@ -146,7 +147,9 @@ func cmdFmt(args []string) error {
 }
 
 // probeOpts sizes the small machine status and tune boot. The control
-// plane is on so both commands can show live controller state.
+// plane is on so both commands can show live controller state, and the
+// cold tier is enabled so status exercises a demote/promote round trip
+// and tune lists the repack-interval controller.
 func probeOpts() core.Options {
 	return core.Options{
 		PDDiskBlocks:  4096,
@@ -155,6 +158,7 @@ func probeOpts() core.Options {
 		JournalBlocks: 64,
 		AuthorityBits: 1024,
 		Control:       true,
+		ColdAfter:     time.Hour,
 	}
 }
 
@@ -210,6 +214,26 @@ func cmdStatus() error {
 	fmt.Printf("npd disk:    reads=%d writes=%d syncs=%d\n", st.NPDDisk.Reads, st.NPDDisk.Writes, st.NPDDisk.Syncs)
 	fmt.Printf("audit=%d denials=%d\n", st.Audit, st.Denials)
 
+	// Age the probe records past the idle threshold, repack them into the
+	// compressed cold tier, then read one back (transparent promotion) and
+	// capture a membrane snapshot — so the cold counters below are live.
+	if sim, ok := sys.SimClock(); ok {
+		sim.Advance(2 * sys.DBFS().ColdAfter())
+		rp := sys.StartRepacker()
+		rp.Sync()
+		rp.Stop()
+		if _, err := sys.DBFS().GetRecord(tok, "probe/subject-0/1"); err != nil {
+			return err
+		}
+		if _, err := sys.DBFS().SnapshotMembranes(tok, "status-probe"); err != nil {
+			return err
+		}
+	}
+	st = sys.Stats()
+	fmt.Printf("cold tier:   records=%d demotions=%d promotions=%d dedup-hits=%d snapshots=%d bytes-saved=%d\n",
+		st.DBFS.ColdRecords, st.DBFS.Demotions, st.DBFS.Promotions, st.DBFS.ColdDedupHits,
+		st.DBFS.SnapshotsTaken, st.DBFS.ColdBytesSaved)
+
 	// A few control ticks over the probe traffic, then the live state.
 	for i := 0; i < 3; i++ {
 		sys.ControlTick()
@@ -225,6 +249,7 @@ func cmdStatus() error {
 func printTuning(t core.Tuning) {
 	fmt.Printf("  commit_window=%v group_max_batch=%d membrane_cache=%d rights_workers=%d serial_ops=%v sweep_interval=%v\n",
 		*t.CommitWindow, *t.GroupMaxBatch, *t.MembraneCache, *t.RightsWorkers, *t.SerialOps, *t.SweepInterval)
+	fmt.Printf("  cold_after=%v repack_interval=%v\n", *t.ColdAfter, *t.RepackInterval)
 	if t.AdmissionMaxPending != nil {
 		fmt.Printf("  admission_max_pending=%d\n", *t.AdmissionMaxPending)
 	}
@@ -277,6 +302,16 @@ func parseTuning(args []string) (core.Tuning, error) {
 			var d time.Duration
 			if d, err = time.ParseDuration(v); err == nil {
 				t.SweepInterval = &d
+			}
+		case "cold_after":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				t.ColdAfter = &d
+			}
+		case "repack_interval":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				t.RepackInterval = &d
 			}
 		case "rate_limit":
 			parts := strings.Split(v, ":")

@@ -4,12 +4,13 @@
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory, the storage commit path, the membrane read path, the
-// admission-and-deadlines story, and the actor FS core + block buffer
-// cache), the runnable entry points under cmd/ and examples/, and the
-// benchmark harness in bench_test.go plus cmd/benchfig, whose registry
-// regenerates every reproduced artifact and the SC1-SC5 scaling
-// experiments; cmd/benchgate holds CI to the checked-in
-// BENCH_baseline.json floors.
+// admission-and-deadlines story, the actor FS core + block buffer cache,
+// the control plane + tuning API, and the content-addressed compressed
+// cold tier with shred-safe membrane snapshots), the runnable entry
+// points under cmd/ and examples/, and the benchmark harness in
+// bench_test.go plus cmd/benchfig, whose registry regenerates every
+// reproduced artifact and the SC1-SC7 scaling experiments; cmd/benchgate
+// holds CI to the checked-in BENCH_baseline.json floors.
 //
 // References:
 //
@@ -21,4 +22,7 @@
 //     internal/blockdev's write-back buffer cache.
 //   - ext3/JBD2 journaling — the model for internal/wal's group commit
 //     (multi-transaction commit records sealed by one flush barrier).
+//   - djafs (SNIPPETS.md section 3) — the model for internal/coldtier's
+//     content-addressed compressed archives (hash-based dedup, lazy
+//     repacking of cold JSON records).
 package repro

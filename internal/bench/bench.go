@@ -93,6 +93,7 @@ func Registry() []Experiment {
 		{ID: "SC4", Title: "Admission control: goodput/rejects/p99 past saturation", Paper: "heavy-traffic enforcement, scaled (north star)", Run: runSC4},
 		{ID: "SC5", Title: "Actor inode core x block buffer cache: intra-shard contention", Paper: "§3 DBFS storage stack, scaled (north star)", Run: runSC5},
 		{ID: "SC6", Title: "Self-tuning control plane: step-response convergence", Paper: "runtime self-tuning, scaled (north star)", Run: runSC6},
+		{ID: "SC7", Title: "Content-addressable compressed cold tier: footprint, promotion, shred safety", Paper: "storage limitation at scale (north star)", Run: runSC7},
 	}
 }
 

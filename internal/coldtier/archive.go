@@ -1,0 +1,269 @@
+// Package coldtier implements the content-addressable compressed cold
+// tier: archive containers that pack many small record files into one
+// deduplicated, flate-compressed blob, and a background Repacker that
+// migrates idle records into them on the machine clock.
+//
+// The format follows djafs (SNIPPETS.md §3): every stored byte string is
+// content-addressed by its SHA-256, so identical payloads inside one
+// archive are stored once. Dedup scope is a single archive — one subject's
+// records, or one membrane snapshot — and NEVER crosses subjects: records
+// reach the archive as cryptoshred ciphertext, and a chunk shared across
+// subjects would give one subject's retained data a reference keeping
+// another subject's erased bytes alive. Per-subject scope keeps the
+// crypto-shredding story exact: shred the subject's key and every archived
+// copy decodes to nothing.
+package coldtier
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadArchive reports a container that failed to decode or whose
+	// chunks do not match their content addresses.
+	ErrBadArchive = errors.New("coldtier: bad archive")
+	// ErrNoEntry reports a lookup for an id the archive does not hold.
+	ErrNoEntry = errors.New("coldtier: no such entry")
+)
+
+// archiveMagic heads every encoded container; the trailing byte is the
+// format version.
+var archiveMagic = []byte{'C', 'T', 'A', '1'}
+
+// Entry is one archived record's manifest row: part name → content address
+// of its chunk. Erased marks a snapshot entry whose record was already
+// crypto-shredded when the snapshot was taken — nothing to store, and
+// nothing to resurrect.
+type Entry struct {
+	Parts  map[string]string `json:"parts,omitempty"`
+	Erased bool              `json:"erased,omitempty"`
+}
+
+// Archive is an in-memory content-addressed container. Not safe for
+// concurrent use; callers serialize (dbfs holds its per-shard cold mutex).
+type Archive struct {
+	entries map[string]Entry
+	chunks  map[string][]byte
+	refs    map[string]int
+}
+
+// New returns an empty archive.
+func New() *Archive {
+	return &Archive{
+		entries: make(map[string]Entry),
+		chunks:  make(map[string][]byte),
+		refs:    make(map[string]int),
+	}
+}
+
+// hashOf is the content address of a chunk.
+func hashOf(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Put stores (or replaces) an entry of named parts, content-addressing each
+// part. It reports how many parts deduplicated against chunks already in
+// the archive and the raw byte size of the parts as given.
+func (a *Archive) Put(id string, parts map[string][]byte) (dedup, raw int) {
+	e := Entry{Parts: make(map[string]string, len(parts))}
+	names := make([]string, 0, len(parts))
+	for name := range parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := parts[name]
+		raw += len(b)
+		h := hashOf(b)
+		if _, ok := a.chunks[h]; ok {
+			dedup++
+		} else {
+			a.chunks[h] = append([]byte(nil), b...)
+		}
+		a.refs[h]++
+		e.Parts[name] = h
+	}
+	// The old entry's references drop only after the new ones are held, so
+	// an unchanged part re-put under the same id dedups onto its own chunk
+	// instead of GC-then-restore.
+	a.dropRefs(id)
+	a.entries[id] = e
+	return dedup, raw
+}
+
+// MarkErased stores an erased-marker entry: the record existed but its key
+// was already shredded, so the archive records the fact and nothing else.
+func (a *Archive) MarkErased(id string) {
+	a.dropRefs(id)
+	a.entries[id] = Entry{Erased: true}
+}
+
+// dropRefs unreferences (and garbage-collects) the chunks of id's current
+// entry, if any.
+func (a *Archive) dropRefs(id string) {
+	e, ok := a.entries[id]
+	if !ok {
+		return
+	}
+	for _, h := range e.Parts {
+		a.refs[h]--
+		if a.refs[h] <= 0 {
+			delete(a.refs, h)
+			delete(a.chunks, h)
+		}
+	}
+}
+
+// Remove deletes an entry and garbage-collects chunks no other entry
+// references. It reports whether the entry existed.
+func (a *Archive) Remove(id string) bool {
+	if _, ok := a.entries[id]; !ok {
+		return false
+	}
+	a.dropRefs(id)
+	delete(a.entries, id)
+	return true
+}
+
+// Has reports whether the archive holds an entry for id (erased markers
+// included).
+func (a *Archive) Has(id string) bool {
+	_, ok := a.entries[id]
+	return ok
+}
+
+// Lookup returns id's manifest entry.
+func (a *Archive) Lookup(id string) (Entry, bool) {
+	e, ok := a.entries[id]
+	return e, ok
+}
+
+// Get materializes an entry's parts (copies). An erased-marker entry
+// returns ok with nil parts — present, but nothing to decode.
+func (a *Archive) Get(id string) (parts map[string][]byte, ok bool) {
+	e, found := a.entries[id]
+	if !found {
+		return nil, false
+	}
+	if e.Erased {
+		return nil, true
+	}
+	parts = make(map[string][]byte, len(e.Parts))
+	for name, h := range e.Parts {
+		parts[name] = append([]byte(nil), a.chunks[h]...)
+	}
+	return parts, true
+}
+
+// IDs lists the archived entry ids, sorted.
+func (a *Archive) IDs() []string {
+	out := make([]string, 0, len(a.entries))
+	for id := range a.entries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the entry count.
+func (a *Archive) Len() int { return len(a.entries) }
+
+// Sizes reports the archive's logical footprint: raw is the byte total the
+// entries reference counting every reference (what the records occupied as
+// individual files, before block padding), stored the byte total of unique
+// chunks actually held.
+func (a *Archive) Sizes() (raw, stored int) {
+	for _, e := range a.entries {
+		for _, h := range e.Parts {
+			raw += len(a.chunks[h])
+		}
+	}
+	for _, b := range a.chunks {
+		stored += len(b)
+	}
+	return raw, stored
+}
+
+// container is the serialized form (JSON inside flate): encoding/json
+// writes map keys sorted, so encoding is deterministic for a given archive
+// state.
+type container struct {
+	Entries map[string]Entry  `json:"entries"`
+	Chunks  map[string][]byte `json:"chunks"` // base64 via encoding/json
+}
+
+// Encode serializes the archive: magic, then a flate stream of the JSON
+// container. Content-addressed chunks of ciphertext barely compress, but
+// the manifest and any plaintext parts (membranes are near-identical JSON
+// across records) compress well.
+func (a *Archive) Encode() ([]byte, error) {
+	raw, err := json.Marshal(container{Entries: a.entries, Chunks: a.chunks})
+	if err != nil {
+		return nil, fmt.Errorf("coldtier: encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(archiveMagic)
+	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, fmt.Errorf("coldtier: encode: %w", err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, fmt.Errorf("coldtier: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("coldtier: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an encoded container, verifying every chunk against its
+// content address and every entry reference against the chunk set — a
+// truncated or bit-flipped archive fails loudly instead of serving wrong
+// bytes.
+func Decode(b []byte) (*Archive, error) {
+	if len(b) < len(archiveMagic) || !bytes.Equal(b[:len(archiveMagic)], archiveMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadArchive)
+	}
+	zr := flate.NewReader(bytes.NewReader(b[len(archiveMagic):]))
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	var c container
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	a := New()
+	for h, chunk := range c.Chunks {
+		if hashOf(chunk) != h {
+			return nil, fmt.Errorf("%w: chunk %s fails its content address", ErrBadArchive, h)
+		}
+		a.chunks[h] = chunk
+	}
+	for id, e := range c.Entries {
+		if e.Erased && len(e.Parts) > 0 {
+			return nil, fmt.Errorf("%w: entry %s both erased and stored", ErrBadArchive, id)
+		}
+		for name, h := range e.Parts {
+			if _, ok := a.chunks[h]; !ok {
+				return nil, fmt.Errorf("%w: entry %s part %s references missing chunk", ErrBadArchive, id, name)
+			}
+			a.refs[h]++
+		}
+		a.entries[id] = e
+	}
+	return a, nil
+}

@@ -1,0 +1,188 @@
+package coldtier
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	a := New()
+	shared := []byte(`{"name":"Alice","year":1990}`)
+	d1, r1 := a.Put("user/alice/1", map[string][]byte{"data": shared, "mem": []byte("m1")})
+	if d1 != 0 {
+		t.Fatalf("first Put dedup = %d, want 0", d1)
+	}
+	if r1 != len(shared)+2 {
+		t.Fatalf("first Put raw = %d, want %d", r1, len(shared)+2)
+	}
+	// Second entry shares the data chunk: one dedup hit.
+	d2, _ := a.Put("user/alice/2", map[string][]byte{"data": shared, "mem": []byte("m2")})
+	if d2 != 1 {
+		t.Fatalf("second Put dedup = %d, want 1", d2)
+	}
+	raw, stored := a.Sizes()
+	if raw <= stored {
+		t.Fatalf("Sizes raw %d <= stored %d, dedup should shrink stored", raw, stored)
+	}
+
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("decoded Len = %d, want 2", b.Len())
+	}
+	parts, ok := b.Get("user/alice/1")
+	if !ok || !bytes.Equal(parts["data"], shared) || !bytes.Equal(parts["mem"], []byte("m1")) {
+		t.Fatalf("decoded entry 1 = %v, %v", parts, ok)
+	}
+	ids := b.IDs()
+	if len(ids) != 2 || ids[0] != "user/alice/1" || ids[1] != "user/alice/2" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	// Get hands out copies: mutating the result must not corrupt chunks.
+	parts["data"][0] ^= 0xff
+	again, _ := b.Get("user/alice/1")
+	if !bytes.Equal(again["data"], shared) {
+		t.Fatal("Get returned an aliased chunk")
+	}
+}
+
+func TestArchiveRefcountGC(t *testing.T) {
+	a := New()
+	shared := []byte("shared-bytes")
+	a.Put("a", map[string][]byte{"data": shared})
+	a.Put("b", map[string][]byte{"data": shared})
+	if !a.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if _, stored := a.Sizes(); stored != len(shared) {
+		t.Fatalf("stored after removing one referrer = %d, want %d", stored, len(shared))
+	}
+	if !a.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if raw, stored := a.Sizes(); raw != 0 || stored != 0 {
+		t.Fatalf("Sizes after removing both = (%d, %d), want (0, 0)", raw, stored)
+	}
+	if a.Remove("a") {
+		t.Fatal("Remove of absent entry = true")
+	}
+}
+
+func TestArchiveReplaceGCsOldChunks(t *testing.T) {
+	a := New()
+	a.Put("x", map[string][]byte{"data": []byte("old-old-old")})
+	a.Put("x", map[string][]byte{"data": []byte("new")})
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+	if _, stored := a.Sizes(); stored != 3 {
+		t.Fatalf("stored after replace = %d, want 3 (old chunk must be GC'd)", stored)
+	}
+}
+
+func TestArchiveRePutUnchangedDedups(t *testing.T) {
+	// Re-demotion of an unchanged record re-puts the same parts under the
+	// same id: every part must dedup onto its own chunk, not GC-then-restore.
+	a := New()
+	parts := map[string][]byte{"data": []byte("ciphertext"), "mem": []byte("membrane")}
+	a.Put("t/s/1", parts)
+	_, stored0 := a.Sizes()
+	dedup, _ := a.Put("t/s/1", parts)
+	if dedup != 2 {
+		t.Fatalf("re-put dedup = %d, want 2", dedup)
+	}
+	if _, stored := a.Sizes(); stored != stored0 {
+		t.Fatalf("stored after unchanged re-put = %d, want %d", stored, stored0)
+	}
+}
+
+func TestArchiveDeterministicEncode(t *testing.T) {
+	build := func(order []string) []byte {
+		a := New()
+		for _, id := range order {
+			a.Put(id, map[string][]byte{"data": []byte("payload-" + id), "mem": []byte("m")})
+		}
+		enc, err := a.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return enc
+	}
+	e1 := build([]string{"t/s/1", "t/s/2", "t/s/3"})
+	e2 := build([]string{"t/s/3", "t/s/1", "t/s/2"})
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("Encode is insertion-order dependent; must be deterministic for SC7")
+	}
+}
+
+func TestArchiveErasedMarker(t *testing.T) {
+	a := New()
+	a.Put("gone", map[string][]byte{"data": []byte("bytes")})
+	a.MarkErased("gone")
+	if _, stored := a.Sizes(); stored != 0 {
+		t.Fatalf("stored after MarkErased = %d, want 0 (chunks dropped)", stored)
+	}
+	parts, ok := a.Get("gone")
+	if !ok || parts != nil {
+		t.Fatalf("Get(erased) = (%v, %v), want (nil, true)", parts, ok)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	e, ok := b.Lookup("gone")
+	if !ok || !e.Erased {
+		t.Fatalf("decoded entry = (%+v, %v), want erased marker", e, ok)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a := New()
+	a.Put("t/s/1", map[string][]byte{"data": []byte("some-record-bytes")})
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	if _, err := Decode([]byte("XYZ")); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("Decode(bad magic) = %v, want ErrBadArchive", err)
+	}
+	if _, err := Decode(enc[:len(enc)-4]); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("Decode(truncated) = %v, want ErrBadArchive", err)
+	}
+
+	// A chunk that fails its content address must be rejected, not served.
+	bad := New()
+	bad.entries["x"] = Entry{Parts: map[string]string{"data": hashOf([]byte("right"))}}
+	bad.chunks[hashOf([]byte("right"))] = []byte("wrong")
+	bad.refs[hashOf([]byte("right"))] = 1
+	enc2, err := bad.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := Decode(enc2); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("Decode(hash mismatch) = %v, want ErrBadArchive", err)
+	}
+
+	// An entry referencing a missing chunk must be rejected.
+	dangling := New()
+	dangling.entries["x"] = Entry{Parts: map[string]string{"data": hashOf([]byte("absent"))}}
+	enc3, err := dangling.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := Decode(enc3); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("Decode(dangling reference) = %v, want ErrBadArchive", err)
+	}
+}

@@ -1,0 +1,270 @@
+package coldtier
+
+// The background repacker: a ticker-driven loop (the rights.Sweeper
+// pattern) that fires repack passes on the machine clock. The pass itself
+// lives in dbfs — the repacker only owns cadence, lifecycle and counters,
+// so the package stays free of a dbfs dependency and core can wire the two
+// together with a closure carrying the DED's capability token.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// PassStats is what one repack pass over the store reports.
+type PassStats struct {
+	// Demoted counts records migrated hot → archive this pass; Subjects
+	// counts the subject archives rewritten.
+	Demoted  int
+	Subjects int
+	// DedupHits counts parts that content-addressed onto chunks already
+	// archived (unchanged records re-demoting after a promotion).
+	DedupHits int
+	// RawBytes / StoredBytes are the logical bytes demoted this pass and
+	// the unique chunk bytes they occupy after dedup (before compression).
+	RawBytes    int64
+	StoredBytes int64
+}
+
+// Target runs one repack pass at the given instant. dbfs.Store's RepackCold
+// is the real implementation; core binds it with its token via TargetFunc.
+type Target interface {
+	RepackPass(now time.Time) (PassStats, error)
+}
+
+// TargetFunc adapts a closure to Target.
+type TargetFunc func(now time.Time) (PassStats, error)
+
+// RepackPass implements Target.
+func (f TargetFunc) RepackPass(now time.Time) (PassStats, error) { return f(now) }
+
+// Stats counts the background repacker's activity.
+type Stats struct {
+	// Passes counts completed repack passes; Errors the failed subset.
+	Passes uint64
+	Errors uint64
+	// Demoted / DedupHits accumulate the per-pass results.
+	Demoted   uint64
+	DedupHits uint64
+	// LastPass is the start instant of the last completed pass.
+	LastPass time.Time
+}
+
+// DefaultRepackInterval is the fallback pass cadence when
+// Options.Interval is unset.
+const DefaultRepackInterval = time.Minute
+
+// Options configures a Repacker.
+type Options struct {
+	// Interval is the gap between repack passes. Default one minute.
+	Interval time.Duration
+}
+
+// Repacker is the background demotion loop: every Interval it runs one
+// repack pass against its target. Start/Stop are idempotent and a stopped
+// repacker can be restarted; it waits on simclock.Waiter, so simclock tests
+// drive it deterministically (advance, Sync, assert).
+type Repacker struct {
+	clock  simclock.Clock
+	target Target
+	// wake nudges the loop out of its clock wait (Sync, Stop,
+	// SetInterval).
+	wake chan struct{}
+
+	mu          sync.Mutex
+	interval    time.Duration
+	cond        *sync.Cond
+	running     bool
+	stop        chan struct{}
+	done        chan struct{}
+	forced      bool
+	last        time.Time
+	lastCovered time.Time
+	stats       Stats
+}
+
+// NewRepacker builds a repacker over target on clock. Call Start to run it.
+func NewRepacker(clock simclock.Clock, target Target, opts Options) *Repacker {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	iv := opts.Interval
+	if iv <= 0 {
+		iv = DefaultRepackInterval
+	}
+	rp := &Repacker{clock: clock, target: target, interval: iv, wake: make(chan struct{}, 1)}
+	rp.cond = sync.NewCond(&rp.mu)
+	return rp
+}
+
+// Interval reports the current pass cadence.
+func (rp *Repacker) Interval() time.Duration {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.interval
+}
+
+// SetInterval changes the pass cadence at runtime (d <= 0 restores
+// DefaultRepackInterval) and kicks a sleeping loop so the new cadence takes
+// effect immediately.
+func (rp *Repacker) SetInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultRepackInterval
+	}
+	rp.mu.Lock()
+	rp.interval = d
+	rp.mu.Unlock()
+	rp.kickWake()
+}
+
+// Start launches the background loop. Starting a running repacker is a
+// no-op.
+func (rp *Repacker) Start() {
+	rp.mu.Lock()
+	if rp.running {
+		rp.mu.Unlock()
+		return
+	}
+	rp.running = true
+	rp.stop = make(chan struct{})
+	rp.done = make(chan struct{})
+	rp.last = rp.clock.Now()
+	stop, done := rp.stop, rp.done
+	rp.mu.Unlock()
+	go rp.loop(stop, done)
+}
+
+// Stop halts the loop and waits for it to exit; an in-flight pass finishes.
+// Stopping a stopped repacker is a no-op.
+func (rp *Repacker) Stop() {
+	rp.mu.Lock()
+	if !rp.running {
+		rp.mu.Unlock()
+		return
+	}
+	rp.running = false
+	stop, done := rp.stop, rp.done
+	rp.mu.Unlock()
+	close(stop)
+	rp.kickWake()
+	<-done
+	rp.mu.Lock()
+	rp.cond.Broadcast() // unblock Sync callers
+	rp.mu.Unlock()
+}
+
+// Running reports whether the loop is active.
+func (rp *Repacker) Running() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.running
+}
+
+// Stats snapshots the repacker counters.
+func (rp *Repacker) Stats() Stats {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.stats
+}
+
+// Sync forces a repack pass covering the instant of the call and blocks
+// until it completes (or the repacker stops) — the deterministic join
+// point for simclock tests.
+func (rp *Repacker) Sync() {
+	target := rp.clock.Now()
+	rp.mu.Lock()
+	if !rp.running {
+		rp.mu.Unlock()
+		return
+	}
+	rp.forced = true
+	rp.mu.Unlock()
+	rp.kickWake()
+	rp.mu.Lock()
+	for rp.running && rp.lastCovered.Before(target) {
+		rp.cond.Wait()
+	}
+	rp.mu.Unlock()
+}
+
+// kickWake nudges the loop; a pending nudge is enough, extra ones drop.
+func (rp *Repacker) kickWake() {
+	select {
+	case rp.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the repacker body: run a pass once Interval has elapsed since the
+// last one (or a Sync forces one), otherwise sleep until the pass is due.
+func (rp *Repacker) loop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		now := rp.clock.Now()
+		rp.mu.Lock()
+		forced := rp.forced
+		rp.forced = false
+		next := rp.last.Add(rp.interval)
+		rp.mu.Unlock()
+		if forced || !now.Before(next) {
+			rp.pass()
+			continue
+		}
+		rp.waitUntil(next, stop)
+	}
+}
+
+// pass runs one repack and records its outcome.
+func (rp *Repacker) pass() {
+	start := rp.clock.Now()
+	st, err := rp.target.RepackPass(start)
+	rp.mu.Lock()
+	rp.stats.Passes++
+	if err != nil {
+		rp.stats.Errors++
+	}
+	rp.stats.Demoted += uint64(st.Demoted)
+	rp.stats.DedupHits += uint64(st.DedupHits)
+	rp.stats.LastPass = start
+	rp.last = start
+	if start.After(rp.lastCovered) {
+		rp.lastCovered = start
+	}
+	rp.cond.Broadcast()
+	rp.mu.Unlock()
+}
+
+// waitUntil blocks until the machine clock reaches target, a kick arrives,
+// or stop closes.
+func (rp *Repacker) waitUntil(target time.Time, stop chan struct{}) {
+	w, ok := rp.clock.(simclock.Waiter)
+	if !ok {
+		// Unknown clock implementation: poll at a coarse real-time cadence.
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-rp.wake:
+		case <-stop:
+		}
+		return
+	}
+	cancel := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			close(cancel)
+		case <-rp.wake:
+			close(cancel)
+		case <-finished:
+		}
+	}()
+	w.WaitUntil(target, cancel)
+	close(finished)
+}

@@ -1,0 +1,124 @@
+package coldtier
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// countTarget is a Target that counts passes and serves canned results.
+type countTarget struct {
+	mu     sync.Mutex
+	passes int
+	stats  PassStats
+	err    error
+}
+
+func (ct *countTarget) RepackPass(now time.Time) (PassStats, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.passes++
+	return ct.stats, ct.err
+}
+
+func (ct *countTarget) count() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.passes
+}
+
+func TestRepackerLifecycle(t *testing.T) {
+	clk := simclock.NewSim(simclock.Epoch)
+	ct := &countTarget{stats: PassStats{Demoted: 3, DedupHits: 1}}
+	rp := NewRepacker(clk, ct, Options{Interval: time.Minute})
+
+	// Sync before Start is a no-op, not a hang.
+	rp.Sync()
+	if got := ct.count(); got != 0 {
+		t.Fatalf("passes before Start = %d, want 0", got)
+	}
+
+	rp.Start()
+	rp.Start() // idempotent
+	if !rp.Running() {
+		t.Fatal("Running = false after Start")
+	}
+	rp.Sync()
+	if got := ct.count(); got < 1 {
+		t.Fatalf("passes after first Sync = %d, want >= 1", got)
+	}
+
+	clk.Advance(2 * time.Minute)
+	rp.Sync()
+	st := rp.Stats()
+	if st.Passes < 2 {
+		t.Fatalf("Stats.Passes = %d, want >= 2", st.Passes)
+	}
+	if st.Demoted != st.Passes*3 || st.DedupHits != st.Passes {
+		t.Fatalf("Stats = %+v, want Demoted = 3*Passes, DedupHits = Passes", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("Stats.Errors = %d, want 0", st.Errors)
+	}
+	if !st.LastPass.Equal(clk.Now()) {
+		t.Fatalf("LastPass = %v, want %v", st.LastPass, clk.Now())
+	}
+
+	rp.SetInterval(time.Second)
+	if rp.Interval() != time.Second {
+		t.Fatalf("Interval = %v after SetInterval", rp.Interval())
+	}
+	rp.SetInterval(0) // restores the default
+	if rp.Interval() != DefaultRepackInterval {
+		t.Fatalf("Interval = %v, want default %v", rp.Interval(), DefaultRepackInterval)
+	}
+
+	rp.Stop()
+	rp.Stop() // idempotent
+	if rp.Running() {
+		t.Fatal("Running = true after Stop")
+	}
+	stopped := ct.count()
+	clk.Advance(time.Hour)
+	rp.Sync() // no-op while stopped
+	if got := ct.count(); got != stopped {
+		t.Fatalf("passes grew to %d after Stop (was %d)", got, stopped)
+	}
+
+	// A stopped repacker restarts.
+	rp.Start()
+	clk.Advance(DefaultRepackInterval)
+	rp.Sync()
+	if got := ct.count(); got <= stopped {
+		t.Fatalf("passes after restart = %d, want > %d", got, stopped)
+	}
+	rp.Stop()
+}
+
+func TestRepackerCountsErrors(t *testing.T) {
+	clk := simclock.NewSim(simclock.Epoch)
+	ct := &countTarget{err: errors.New("shard offline")}
+	rp := NewRepacker(clk, ct, Options{Interval: time.Minute})
+	rp.Start()
+	defer rp.Stop()
+	rp.Sync()
+	st := rp.Stats()
+	if st.Passes < 1 || st.Errors != st.Passes {
+		t.Fatalf("Stats = %+v, want every pass counted as error", st)
+	}
+	if st.Demoted != 0 {
+		t.Fatalf("Stats.Demoted = %d on failing passes, want 0", st.Demoted)
+	}
+}
+
+func TestRepackerDefaultInterval(t *testing.T) {
+	rp := NewRepacker(nil, TargetFunc(func(time.Time) (PassStats, error) {
+		return PassStats{}, nil
+	}), Options{})
+	if rp.Interval() != DefaultRepackInterval {
+		t.Fatalf("Interval = %v, want %v", rp.Interval(), DefaultRepackInterval)
+	}
+}

@@ -10,6 +10,7 @@ package core
 //   admission-queue  AIMD        admitted-latency p99 vs Options.ControlSLO
 //   sweep-interval   hill-climb  expiries reclaimed per sweep pass
 //   membrane-cache   hill-climb  membrane-cache hit rate
+//   repack-interval  hill-climb  cold-tier demotions per repack pass
 //
 // Every signal is a windowed delta — counters since the previous tick, not
 // since boot — so the controllers react to current behaviour, and every
@@ -37,6 +38,10 @@ const (
 	ctlCommitWindowMaxMs = 20.0
 	// ctlExpiriesPerPass is the sweep-interval target reclaim density.
 	ctlExpiriesPerPass = 8.0
+	// ctlDemotionsPerPass is the repack-interval target demotion density:
+	// pass often enough that the hot tier sheds cold records promptly, but
+	// not so often that passes scan shards to demote nothing.
+	ctlDemotionsPerPass = 8.0
 	// ctlCacheHitRate is the membrane-cache target hit rate.
 	ctlCacheHitRate = 0.9
 	// ctlCacheMin / ctlCacheMax / ctlCacheStep bound the cache capacity
@@ -54,9 +59,9 @@ func clampf(v, lo, hi float64) float64 {
 	return math.Min(math.Max(v, lo), hi)
 }
 
-// buildControlGroup wires the four controllers. Called once from Boot;
-// controllers whose subsystem is ablated away (membrane cache disabled)
-// are skipped rather than fighting the ablation.
+// buildControlGroup wires the five controllers. Called once from Boot;
+// controllers whose subsystem is ablated away (membrane cache disabled,
+// cold-tier demotion off) are skipped rather than fighting the ablation.
 func (s *System) buildControlGroup() (*control.Group, error) {
 	var cs []*control.Controller
 
@@ -235,6 +240,51 @@ func (s *System) buildControlGroup() (*control.Group, error) {
 			Apply: func(v float64) error {
 				n := int(math.Round(v))
 				return s.ApplyTuning(Tuning{MembraneCache: &n})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+
+	// Repack interval: knob in seconds, signal = windowed cold-tier
+	// demotions per pass. Hill-climb toward a target demotion density,
+	// the sweeper's law: pass too often and shard scans demote nothing,
+	// too rarely and the hot tier carries cold records. Skipped when
+	// demotion is disabled (ColdAfter 0) — the controller must not undo
+	// the ablation.
+	if s.store.ColdAfter() > 0 {
+		var mu sync.Mutex
+		var prevDemoted, prevPasses uint64
+		const minS, maxS = 1.0, 900.0
+		c, err := control.New(control.Config{
+			Name:    "repack-interval",
+			Mode:    control.HillClimb,
+			Target:  ctlDemotionsPerPass,
+			Band:    0.5,
+			Min:     minS,
+			Max:     maxS,
+			Initial: clampf(s.repackInterval.Seconds(), minS, maxS),
+			Step:    5,
+			Read: func() float64 {
+				rp := s.Repacker()
+				if rp == nil {
+					return ctlDemotionsPerPass
+				}
+				st := rp.Stats()
+				mu.Lock()
+				defer mu.Unlock()
+				dd, dp := st.Demoted-prevDemoted, st.Passes-prevPasses
+				prevDemoted, prevPasses = st.Demoted, st.Passes
+				if dp == 0 {
+					return ctlDemotionsPerPass
+				}
+				return float64(dd) / float64(dp)
+			},
+			Apply: func(v float64) error {
+				d := time.Duration(v * float64(time.Second))
+				return s.ApplyTuning(Tuning{RepackInterval: &d})
 			},
 		})
 		if err != nil {

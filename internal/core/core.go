@@ -17,17 +17,18 @@
 // Runtime knobs flow through one door: ApplyTuning applies a validated
 // core.Tuning document atomically per knob (nothing applies if any knob is
 // invalid) and Tuning() snapshots the live configuration. Options.Control
-// starts the self-tuning control plane (control.go): four feedback
+// starts the self-tuning control plane (control.go): five feedback
 // controllers from internal/control steering the WAL commit window, the
-// admission queue bound, the sweeper interval and the membrane-cache
-// capacity from the counters the system already exports — through the same
-// ApplyTuning API an operator uses. DESIGN.md ("Control plane & tuning
+// admission queue bound, the sweeper interval, the membrane-cache
+// capacity and the cold-tier repack interval from the counters the system
+// already exports — through the same ApplyTuning API an operator uses. DESIGN.md ("Control plane & tuning
 // API") documents the controller law and setpoints; SC6 gates convergence.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/blockdev"
 	"repro/internal/builtins"
+	"repro/internal/coldtier"
 	"repro/internal/collect"
 	"repro/internal/control"
 	"repro/internal/cryptoshred"
@@ -126,6 +128,21 @@ type Options struct {
 	// StartSweeper runs it (0 = rights.DefaultSweepInterval). Runtime
 	// adjustable via ApplyTuning.
 	SweepInterval time.Duration
+	// ColdAfter enables the DBFS cold tier: records untouched this long
+	// are demoted into compressed per-subject content-addressed archives
+	// by the repacker's next pass. 0 (the default) disables demotion;
+	// promotion of already-archived records always works. Runtime
+	// adjustable via ApplyTuning.
+	ColdAfter time.Duration
+	// ColdInterval is the cold-tier repacker's pass cadence when
+	// StartRepacker runs it (0 = coldtier.DefaultRepackInterval). Runtime
+	// adjustable via ApplyTuning (RepackInterval).
+	ColdInterval time.Duration
+	// CryptoRand overrides the vault's entropy source. ONLY for
+	// deterministic experiments (SC7 asserts byte-identical archive output
+	// across runs, which needs reproducible ciphertext); nil keeps the
+	// crypto/rand default.
+	CryptoRand io.Reader
 	// Control enables the self-tuning control plane: one feedback
 	// controller per runtime knob (commit window, admission bound, sweep
 	// interval, membrane-cache capacity), each steering through
@@ -178,6 +195,9 @@ func (o *Options) withDefaults() {
 	if o.SweepInterval <= 0 {
 		o.SweepInterval = rights.DefaultSweepInterval
 	}
+	if o.ColdInterval <= 0 {
+		o.ColdInterval = coldtier.DefaultRepackInterval
+	}
 	if o.ControlSLO <= 0 {
 		o.ControlSLO = 50 * time.Millisecond
 	}
@@ -208,10 +228,13 @@ type System struct {
 
 	// tuneMu serializes ApplyTuning documents (individual knob writes are
 	// already safe; the mutex makes multi-knob documents apply without
-	// interleaving) and guards the sweeper handle + desired interval.
-	tuneMu        sync.Mutex
-	sweeper       *rights.Sweeper
-	sweepInterval time.Duration
+	// interleaving) and guards the sweeper/repacker handles + desired
+	// intervals.
+	tuneMu         sync.Mutex
+	sweeper        *rights.Sweeper
+	sweepInterval  time.Duration
+	repacker       *coldtier.Repacker
+	repackInterval time.Duration
 
 	// ctl is the control plane (nil unless Options.Control).
 	ctl *control.Group
@@ -295,6 +318,9 @@ func Boot(opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: authority: %w", err)
 	}
 	s.vault = cryptoshred.NewVault(s.authority.PublicKey())
+	if opts.CryptoRand != nil {
+		s.vault.SetRand(opts.CryptoRand)
+	}
 
 	// Filesystems. DBFS sits on FSInstances inode filesystems: one over
 	// the whole PD view, or — when sharding storage — one per equal
@@ -329,9 +355,6 @@ func Boot(opts Options) (*System, error) {
 	if s.store, err = dbfs.CreateShards(s.pdFSs, s.guard, s.vault, opts.Clock, opts.Shards); err != nil {
 		return nil, fmt.Errorf("core: dbfs: %w", err)
 	}
-	if opts.MembraneCache != 0 {
-		s.store.ConfigureMembraneCache(opts.MembraneCache)
-	}
 	if s.npdFS, err = plainfs.Format(npdView, inode.Options{
 		NInodes: opts.NInodes / 2, JournalBlocks: opts.JournalBlocks, Clock: opts.Clock,
 	}); err != nil {
@@ -355,6 +378,23 @@ func Boot(opts Options) (*System, error) {
 	}
 	s.rights = rights.New(s.ps, s.ded, s.log, opts.Clock)
 	s.sweepInterval = opts.SweepInterval
+	s.repackInterval = opts.ColdInterval
+	// Boot-time knob installs go through the same door an operator uses
+	// (ApplyTuning), so the tuning snapshot is coherent from tick zero.
+	var boot Tuning
+	if opts.MembraneCache != 0 {
+		mc := opts.MembraneCache
+		boot.MembraneCache = &mc
+	}
+	if opts.ColdAfter > 0 {
+		ca := opts.ColdAfter
+		boot.ColdAfter = &ca
+	}
+	if boot.MembraneCache != nil || boot.ColdAfter != nil {
+		if err := s.ApplyTuning(boot); err != nil {
+			return nil, fmt.Errorf("core: boot tuning: %w", err)
+		}
+	}
 	if opts.Control {
 		if s.ctl, err = s.buildControlGroup(); err != nil {
 			return nil, fmt.Errorf("core: control plane: %w", err)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/coldtier"
 	"repro/internal/rights"
 )
 
@@ -57,6 +58,13 @@ type Tuning struct {
 	// SweepInterval re-paces the retention sweeper (applied live when the
 	// sweeper is running, remembered for StartSweeper otherwise).
 	SweepInterval *time.Duration `json:"sweep_interval,omitempty"`
+	// ColdAfter is the cold tier's idle threshold: records untouched this
+	// long demote to their subject's compressed archive on the repacker's
+	// next pass (0 disables demotion; promotion always works).
+	ColdAfter *time.Duration `json:"cold_after,omitempty"`
+	// RepackInterval re-paces the cold-tier repacker (applied live when it
+	// is running, remembered for StartRepacker otherwise).
+	RepackInterval *time.Duration `json:"repack_interval,omitempty"`
 }
 
 // validateTuning checks every present field; caller holds tuneMu.
@@ -94,6 +102,12 @@ func (s *System) validateTuning(t Tuning) error {
 	}
 	if t.SweepInterval != nil && *t.SweepInterval <= 0 {
 		return fmt.Errorf("%w: sweep interval %v not positive", ErrBadTuning, *t.SweepInterval)
+	}
+	if t.ColdAfter != nil && *t.ColdAfter < 0 {
+		return fmt.Errorf("%w: cold after %v negative", ErrBadTuning, *t.ColdAfter)
+	}
+	if t.RepackInterval != nil && *t.RepackInterval <= 0 {
+		return fmt.Errorf("%w: repack interval %v not positive", ErrBadTuning, *t.RepackInterval)
 	}
 	return nil
 }
@@ -150,6 +164,15 @@ func (s *System) ApplyTuning(t Tuning) error {
 			s.sweeper.SetInterval(*t.SweepInterval)
 		}
 	}
+	if t.ColdAfter != nil {
+		s.store.ConfigureColdTier(*t.ColdAfter)
+	}
+	if t.RepackInterval != nil {
+		s.repackInterval = *t.RepackInterval
+		if s.repacker != nil {
+			s.repacker.SetInterval(*t.RepackInterval)
+		}
+	}
 	return nil
 }
 
@@ -166,13 +189,20 @@ func (s *System) Tuning() Tuning {
 	if s.sweeper != nil {
 		sweep = s.sweeper.Interval()
 	}
+	coldAfter := s.store.ColdAfter()
+	repack := s.repackInterval
+	if s.repacker != nil {
+		repack = s.repacker.Interval()
+	}
 	t := Tuning{
-		CommitWindow:  &window,
-		GroupMaxBatch: &maxBatch,
-		MembraneCache: &cache,
-		RightsWorkers: &workers,
-		SerialOps:     &serial,
-		SweepInterval: &sweep,
+		CommitWindow:   &window,
+		GroupMaxBatch:  &maxBatch,
+		MembraneCache:  &cache,
+		RightsWorkers:  &workers,
+		SerialOps:      &serial,
+		SweepInterval:  &sweep,
+		ColdAfter:      &coldAfter,
+		RepackInterval: &repack,
 	}
 	if adm := s.ps.Admission(); adm != nil {
 		mp := adm.MaxPending()
@@ -206,4 +236,31 @@ func (s *System) Sweeper() *rights.Sweeper {
 	s.tuneMu.Lock()
 	defer s.tuneMu.Unlock()
 	return s.sweeper
+}
+
+// StartRepacker starts the machine's background cold-tier repacker at the
+// tuned interval and returns it; if it is already running it is returned
+// unchanged. The repacker drives dbfs.Store.RepackCold with the DED's
+// capability and follows ApplyTuning's RepackInterval from then on. With
+// ColdAfter unset the passes run and demote nothing.
+func (s *System) StartRepacker() *coldtier.Repacker {
+	s.tuneMu.Lock()
+	defer s.tuneMu.Unlock()
+	if s.repacker == nil {
+		tok := s.ded.Token()
+		s.repacker = coldtier.NewRepacker(s.opts.Clock, coldtier.TargetFunc(
+			func(now time.Time) (coldtier.PassStats, error) {
+				return s.store.RepackCold(tok, now)
+			}), coldtier.Options{Interval: s.repackInterval})
+	}
+	s.repacker.Start()
+	return s.repacker
+}
+
+// Repacker returns the machine's cold-tier repacker, or nil before the
+// first StartRepacker.
+func (s *System) Repacker() *coldtier.Repacker {
+	s.tuneMu.Lock()
+	defer s.tuneMu.Unlock()
+	return s.repacker
 }

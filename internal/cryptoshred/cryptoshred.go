@@ -19,6 +19,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 )
 
@@ -89,6 +90,11 @@ func (a *Authority) Recover(rec EscrowRecord, ciphertext []byte) ([]byte, error)
 type Vault struct {
 	authorityPub *rsa.PublicKey
 
+	// randMu guards randr, the entropy source for key material and
+	// nonces. Default crypto/rand.Reader; see SetRand.
+	randMu sync.Mutex
+	randr  io.Reader
+
 	mu        sync.Mutex
 	keys      map[string][]byte
 	destroyed map[string]bool
@@ -100,10 +106,32 @@ type Vault struct {
 func NewVault(authorityPub *rsa.PublicKey) *Vault {
 	return &Vault{
 		authorityPub: authorityPub,
+		randr:        rand.Reader,
 		keys:         make(map[string][]byte),
 		destroyed:    make(map[string]bool),
 		escrows:      make(map[string]EscrowRecord),
 	}
+}
+
+// SetRand replaces the vault's entropy source. ONLY for deterministic
+// simulation (the SC7 experiment needs byte-identical ciphertext across
+// runs to assert byte-identical archive output); production vaults keep
+// the crypto/rand default. Set before concurrent use, or leave alone.
+func (v *Vault) SetRand(r io.Reader) {
+	if r == nil {
+		r = rand.Reader
+	}
+	v.randMu.Lock()
+	v.randr = r
+	v.randMu.Unlock()
+}
+
+// readRand fills p from the configured entropy source.
+func (v *Vault) readRand(p []byte) error {
+	v.randMu.Lock()
+	defer v.randMu.Unlock()
+	_, err := io.ReadFull(v.randr, p)
+	return err
 }
 
 // keyFor returns (creating on first use) the data key for pdid.
@@ -117,7 +145,7 @@ func (v *Vault) keyFor(pdid string) ([]byte, error) {
 		return k, nil
 	}
 	k := make([]byte, keySize)
-	if _, err := rand.Read(k); err != nil {
+	if err := v.readRand(k); err != nil {
 		return nil, fmt.Errorf("cryptoshred: generate data key: %w", err)
 	}
 	v.keys[pdid] = k
@@ -141,7 +169,7 @@ func (v *Vault) Seal(pdid string, plaintext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("cryptoshred: gcm: %w", err)
 	}
 	nonce := make([]byte, gcm.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
+	if err := v.readRand(nonce); err != nil {
 		return nil, fmt.Errorf("cryptoshred: nonce: %w", err)
 	}
 	out := gcm.Seal(nonce, nonce, plaintext, []byte(pdid))

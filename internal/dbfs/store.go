@@ -83,6 +83,21 @@ type Stats struct {
 	BlockCacheMisses    uint64
 	BlockCacheEvictions uint64
 	BlockWritebacks     uint64
+
+	// Cold-tier counters (see cold.go): Demotions counts records repacked
+	// hot → archive, Promotions records rematerialized on first read,
+	// ColdDedupHits archive parts that content-addressed onto existing
+	// chunks, SnapshotsTaken membrane snapshots captured. ColdRecords and
+	// ColdBytesSaved are gauges snapshotted by Stats(): entries currently
+	// archived, and the raw bytes those entries represent minus the
+	// encoded archive bytes holding them (dedup + compression win; can go
+	// negative for tiny archives, where container overhead dominates).
+	Demotions      uint64
+	Promotions     uint64
+	ColdDedupHits  uint64
+	SnapshotsTaken uint64
+	ColdRecords    uint64
+	ColdBytesSaved int64
 }
 
 // formatEntry is one row of the format tree: the session-loaded descriptor
@@ -194,6 +209,12 @@ type Store struct {
 	// against these counters.
 	scanLocks []atomic.Uint64
 
+	// cold is the cold-tier state: idle threshold, per-shard archive index
+	// and touch clocks, and the per-instance cold/snapshot tree roots. See
+	// cold.go; its per-shard mutex is a leaf under the shard lock (lock
+	// order shard → cold.mu → statsMu).
+	cold coldState
+
 	statsMu sync.Mutex
 	stats   Stats
 
@@ -213,6 +234,7 @@ type shardRef struct {
 	fs         *inode.FS
 	subjRoot   inode.Ino
 	tablesRoot inode.Ino
+	coldRoot   inode.Ino
 }
 
 // NumShards reports the store's subject-shard count — the size callers
@@ -235,6 +257,7 @@ func (s *Store) shardAt(shard uint32) shardRef {
 		fs:         s.fss[fi],
 		subjRoot:   s.subjectRoots[fi],
 		tablesRoot: s.tablesRoots[fi],
+		coldRoot:   s.cold.roots[fi],
 	}
 }
 
@@ -325,6 +348,9 @@ func CreateShards(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, c
 			return nil, fmt.Errorf("dbfs: create shard config on instance %d: %w", i, err)
 		}
 	}
+	if err := s.ensureColdRoots(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -345,6 +371,7 @@ func newStore(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock
 		shards:       make([]sync.RWMutex, nshards),
 		scanLocks:    make([]atomic.Uint64, nshards),
 	}
+	s.cold.shards = make([]coldShard, nshards)
 	s.mcache.Store(newMembraneCache(0, int(nshards)))
 	s.mcacheCap.Store(DefaultMembraneCacheCap)
 	return s
@@ -469,6 +496,15 @@ func Open(fss []*inode.FS, guard *lsm.Guard, vault *cryptoshred.Vault, clock sim
 		}
 		s.formats[fe.Name] = entries
 	}
+	// Cold tier: resolve (or, on volumes formatted before the tier
+	// existed, create) the cold and snapshot trees, then rebuild the
+	// in-memory archive index — the tier's once-per-session read.
+	if err := s.ensureColdRoots(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildColdIndex(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -525,6 +561,7 @@ func (s *Store) Stats() Stats {
 		st.BlockCacheEvictions += ds.CacheEvictions
 		st.BlockWritebacks += ds.Writebacks
 	}
+	st.ColdRecords, st.ColdBytesSaved = s.coldGauges()
 	return st
 }
 
@@ -942,6 +979,7 @@ func (s *Store) Insert(tok *lsm.Token, typeName, subjectID string, rec Record, m
 		// write-through costs one clone and first reads decode nothing.
 		mc.writeThrough(sr.idx, pdid, m)
 	}
+	s.coldTouch(sr, pdid)
 	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.Inserts++ })
 	return pdid, nil
@@ -959,7 +997,17 @@ func (s *Store) recordInos(sr shardRef, r ref) (tree inode.Ino, data, sens, mem 
 	recName := strconv.FormatUint(r.recNo, 10)
 	data, err = sr.fs.Lookup(tree, recName+dataSuffix)
 	if errors.Is(err, inode.ErrChildNotFound) {
-		return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, r.pdid)
+		// Not hot — the record may live in its subject's cold archive.
+		// Promote it back and retry: callers see one namespace, the first
+		// read of a demoted record just pays the rematerialization.
+		promoted, perr := s.promoteIfCold(sr, r, tree)
+		if perr != nil {
+			return 0, 0, 0, 0, perr
+		}
+		if !promoted {
+			return 0, 0, 0, 0, fmt.Errorf("%w: %s", ErrNoRecord, r.pdid)
+		}
+		data, err = sr.fs.Lookup(tree, recName+dataSuffix)
 	}
 	if err != nil {
 		return 0, 0, 0, 0, err
@@ -1002,6 +1050,7 @@ func (s *Store) GetMembrane(tok *lsm.Token, pdid string) (*membrane.Membrane, er
 func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error) {
 	if mc := s.mcache.Load(); mc != nil {
 		if m := mc.get(sr.idx, r.pdid); m != nil {
+			s.coldTouch(sr, r.pdid)
 			s.bumpStats(func(st *Stats) { st.MembraneReads++ })
 			return m, nil
 		}
@@ -1021,6 +1070,7 @@ func (s *Store) getMembraneLocked(sr shardRef, r ref) (*membrane.Membrane, error
 	if mc := s.mcache.Load(); mc != nil {
 		mc.fill(sr.idx, r.pdid, m)
 	}
+	s.coldTouch(sr, r.pdid)
 	s.bumpStats(func(st *Stats) { st.MembraneReads++ })
 	return m, nil
 }
@@ -1145,6 +1195,7 @@ func (s *Store) putMembraneLocked(sr shardRef, r ref, m *membrane.Membrane) erro
 	if mc := s.mcache.Load(); mc != nil {
 		mc.writeThrough(sr.idx, r.pdid, m)
 	}
+	s.coldTouch(sr, r.pdid)
 	s.noteExpiry(m)
 	s.bumpStats(func(st *Stats) { st.MembraneWrites++ })
 	return nil
@@ -1212,6 +1263,7 @@ func (s *Store) getRecordLocked(sr shardRef, r ref, sch *Schema) (Record, error)
 			rec[k] = v
 		}
 	}
+	s.coldTouch(sr, r.pdid)
 	s.bumpStats(func(st *Stats) { st.DataReads++ })
 	return rec, nil
 }
@@ -1279,6 +1331,7 @@ func (s *Store) Update(tok *lsm.Token, pdid string, rec Record) error {
 	// The membrane bytes are untouched, but the record moved: bump its
 	// cache version so any cached membrane re-validates against disk.
 	s.cacheInvalidate(sr, pdid)
+	s.coldTouch(sr, pdid)
 	s.bumpStats(func(st *Stats) { st.Updates++ })
 	return nil
 }
@@ -1380,6 +1433,11 @@ func (s *Store) Delete(tok *lsm.Token, pdid string) error {
 		!errors.Is(err, cryptoshred.ErrNoKey) && !errors.Is(err, cryptoshred.ErrKeyDestroyed) {
 		return err
 	}
+	// Remove the archived copy too: Delete is physical removal, and a
+	// stale archive entry would resurface in the listings.
+	if err := s.coldForget(sr, r); err != nil {
+		return err
+	}
 	s.bumpStats(func(st *Stats) { st.Deletes++ })
 	return nil
 }
@@ -1458,6 +1516,20 @@ func (s *Store) ListBySubject(tok *lsm.Token, subjectID string) ([]string, error
 			}
 		}
 	}
+	// Archived records are part of the namespace too (reads promote them
+	// transparently); a promoted record's stale archive entry is shadowed
+	// by its hot copy.
+	if cold := s.coldPDIDs(sr, subjectID); len(cold) != 0 {
+		hot := make(map[string]bool, len(out))
+		for _, p := range out {
+			hot[p] = true
+		}
+		for _, p := range cold {
+			if !hot[p] {
+				out = append(out, p)
+			}
+		}
+	}
 	sort.Strings(out)
 	return out, nil
 }
@@ -1497,6 +1569,22 @@ func (s *Store) ListByType(tok *lsm.Token, typeName string) ([]string, error) {
 				}
 			}
 		}
+	}
+	// Add this type's archived records, hot copies shadowing stale entries.
+	hot := make(map[string]bool, len(out))
+	for _, p := range out {
+		hot[p] = true
+	}
+	prefix := typeName + "/"
+	for i := range s.cold.shards {
+		cs := &s.cold.shards[i]
+		cs.mu.Lock()
+		for pdid := range cs.archived {
+			if strings.HasPrefix(pdid, prefix) && !hot[pdid] {
+				out = append(out, pdid)
+			}
+		}
+		cs.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out, nil

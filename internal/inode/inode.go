@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -180,6 +181,10 @@ type Options struct {
 	// blocks. 0 selects DefaultCacheBlocks; negative disables the cache
 	// entirely (the SC5 ablation baseline).
 	CacheBlocks int
+	// SerialOps starts the filesystem in the pre-actor serial ablation
+	// mode (see SetSerialOps) — the SC5 baseline configures it here
+	// instead of flipping the mode after Format.
+	SerialOps bool
 }
 
 func (o *Options) withDefaults() {
@@ -317,6 +322,7 @@ func Format(dev blockdev.Device, opts Options) (*FS, error) {
 		maxChunk: chunkLimit(sb.JournalBlocks),
 		actors:   make(map[Ino]*idaemon),
 	}
+	fs.serialOps.Store(opts.SerialOps)
 	// Mark metadata region (everything before DataStart) as allocated.
 	for b := uint64(0); b < sb.DataStart; b++ {
 		fs.bitmap[b/8] |= 1 << (b % 8)
@@ -487,12 +493,26 @@ func (fs *FS) JournalConfig() (window time.Duration, maxBatch int) {
 // they always did. Switch only while the filesystem is idle.
 //
 // Deprecated: when the filesystem is owned by a core.System, toggle it
-// through System.ApplyTuning (core.Tuning.SerialOps). Direct use remains
-// correct for standalone FS instances (SC5's ablation).
+// through System.ApplyTuning (core.Tuning.SerialOps); a standalone
+// instance that wants the mode from the start sets Options.SerialOps at
+// Format instead of flipping it afterwards.
 func (fs *FS) SetSerialOps(on bool) { fs.serialOps.Store(on) }
 
 // SerialOps reports whether the serial-ablation mode is on.
 func (fs *FS) SerialOps() bool { return fs.serialOps.Load() }
+
+// UsedBlocks reports how many device blocks are currently allocated
+// (metadata region included) — the footprint number the cold-tier
+// experiment compares across configurations.
+func (fs *FS) UsedBlocks() uint64 {
+	fs.metaMu.Lock()
+	defer fs.metaMu.Unlock()
+	var n uint64
+	for _, b := range fs.bitmap {
+		n += uint64(bits.OnesCount8(b))
+	}
+	return n
+}
 
 // --- actor machinery ---
 

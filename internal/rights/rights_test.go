@@ -513,3 +513,47 @@ func TestParallelRightsMatchSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessOverArchivedRecords pins cold-tier transparency at the rights
+// layer: demoting a subject's records to the compressed archive changes
+// nothing about what Access (GDPR Art. 15) returns, and Erase still kills
+// every copy.
+func TestAccessOverArchivedRecords(t *testing.T) {
+	r := newRig(t)
+	pdid := r.seedUser(t, "chiraz", "Chiraz Benamor", 1990)
+
+	r.store.ConfigureColdTier(time.Hour)
+	r.clock.Advance(2 * time.Hour)
+	ps, err := r.store.RepackCold(r.tok, r.clock.Now())
+	if err != nil {
+		t.Fatalf("RepackCold: %v", err)
+	}
+	if ps.Demoted != 1 {
+		t.Fatalf("PassStats = %+v, want the seeded record demoted", ps)
+	}
+
+	report, err := r.engine.Access("chiraz")
+	if err != nil {
+		t.Fatalf("Access over archived record: %v", err)
+	}
+	users := report.Data["user"]
+	if len(users) != 1 || users[0].Fields["name"] != "Chiraz Benamor" {
+		t.Fatalf("archived record missing from Access report: %+v", report.Data)
+	}
+	if st := r.store.Stats(); st.Promotions != 1 {
+		t.Fatalf("Promotions = %d, want the Access read to promote once", st.Promotions)
+	}
+
+	// Erasure reaches the archived copy: the retained ciphertext no longer
+	// decodes once the subject's keys are shredded.
+	if _, err := r.engine.EraseRecord(pdid); err != nil {
+		t.Fatalf("EraseRecord: %v", err)
+	}
+	parts, err := r.store.ColdRaw(r.tok, pdid)
+	if err != nil {
+		t.Fatalf("ColdRaw: %v", err)
+	}
+	if _, err := r.vault.Open(pdid, parts["data"]); !errors.Is(err, cryptoshred.ErrKeyDestroyed) {
+		t.Fatalf("archived ciphertext still opens after erasure: %v", err)
+	}
+}

@@ -5,7 +5,10 @@
 // All randomness in the simulation flows from explicitly seeded RNG values so
 // that experiments are reproducible bit for bit. The generator is SplitMix64,
 // which is small, fast, and passes BigCrush; it is not cryptographic and must
-// never be used for key material (internal/cryptoshred uses crypto/rand).
+// never be used for key material outside deterministic simulation
+// (internal/cryptoshred defaults to crypto/rand; experiments that must
+// produce byte-identical ciphertext across runs inject NewReader via
+// Vault.SetRand, trading security for reproducibility inside the sandbox).
 package xrand
 
 import "math"
@@ -91,6 +94,25 @@ func (r *RNG) Bytes(p []byte) {
 			v >>= 8
 		}
 	}
+}
+
+// Reader adapts an RNG to io.Reader (never errors). Like the RNG it is
+// not safe for concurrent use.
+type Reader struct {
+	r *RNG
+}
+
+// NewReader returns a deterministic byte stream seeded with seed, for
+// injecting into components that take an entropy source (e.g.
+// cryptoshred.Vault.SetRand in the SC7 determinism harness).
+func NewReader(seed uint64) *Reader {
+	return &Reader{r: New(seed)}
+}
+
+// Read fills p from the stream; it always returns len(p), nil.
+func (rd *Reader) Read(p []byte) (int, error) {
+	rd.r.Bytes(p)
+	return len(p), nil
 }
 
 // Perm returns a pseudo-random permutation of [0, n).
