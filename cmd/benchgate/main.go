@@ -11,7 +11,9 @@
 // membrane-cache read speedup plus the parallel rights-engine scaling,
 // SC4's admission-controlled goodput ratio past saturation, SC5's
 // actor-core contention speedup plus the block cache's read absorption,
-// and SC6's control-plane convergence/band/oscillation invariants.
+// SC6's control-plane convergence/band/oscillation invariants, SC7's
+// cold-tier footprint/shred-safety contract, and SC8's multi-node routing
+// speedups plus the cross-node erasure-propagation invariants.
 //
 // A baseline entry with no generated result — or a generated result with no
 // baseline entry — is a configuration error (exit 2) named after the
@@ -308,6 +310,48 @@ func decodeFile(path, exp string, v any) error {
 	return nil
 }
 
+// gateSC8 compares the multi-node routing headline: the insert and
+// subject-access speedups at 2 and 4 nodes hold their floors (the
+// baseline values are conservative — 2.0 and 3.125 — so the effective
+// floors after the regress margin are 1.6x and 2.5x), and the copy-ledger
+// contract holds exactly: after an erase with one copy-holding node
+// failing the first fan-out, every ledger-named remote copy is dead within
+// one propagation window, the ledger is drained, the deferred sync was
+// retried inside the window, and no node holds plaintext residue.
+func gateSC8(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC8Report
+	if err := decodeReport(baseRaw, "baseline", "SC8", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC8", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC8" || len(base.Rows) == 0 || cur.Experiment != "SC8" || len(cur.Rows) == 0 {
+		return false, confErrf("experiment SC8: malformed report (baseline or %s)", curPath)
+	}
+	ok := true
+	for _, m := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"insert_speedup_2", base.Summary.InsertSpeedup2, cur.Summary.InsertSpeedup2},
+		{"insert_speedup_4", base.Summary.InsertSpeedup4, cur.Summary.InsertSpeedup4},
+		{"access_speedup_2", base.Summary.AccessSpeedup2, cur.Summary.AccessSpeedup2},
+		{"access_speedup_4", base.Summary.AccessSpeedup4, cur.Summary.AccessSpeedup4},
+	} {
+		mok, err := checkFloor(out, "SC8", m.name, m.base, m.cur, maxRegress)
+		if err != nil {
+			return false, err
+		}
+		ok = mok && ok
+	}
+	ok = checkInvariant(out, "SC8", "erase_propagated", cur.Summary.ErasePropagated) && ok
+	ok = checkInvariant(out, "SC8", "ledger_drained", cur.Summary.LedgerDrained) && ok
+	ok = checkInvariant(out, "SC8", "retried_within_window", cur.Summary.RetriedWithinWindow) && ok
+	ok = checkInvariant(out, "SC8", "remote_residue_zero", cur.Summary.RemoteResidueHits == 0) && ok
+	return ok, nil
+}
+
 // gates maps experiment id to its comparison; adding a gated experiment
 // means adding a row here AND an entry to BENCH_baseline.json.
 var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, error){
@@ -317,6 +361,7 @@ var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, 
 	"SC5": gateSC5,
 	"SC6": gateSC6,
 	"SC7": gateSC7,
+	"SC8": gateSC8,
 }
 
 // run executes the whole gate. It returns nil when every gated metric

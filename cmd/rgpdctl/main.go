@@ -8,6 +8,7 @@
 //	rgpdctl fmt file.rgpd      # canonical formatting
 //	rgpdctl status             # boot a probe machine, print its counters
 //	rgpdctl tune [knob=value ...]   # apply a tuning document on a probe machine
+//	rgpdctl nodes              # boot a probe cluster, show routing + erase propagation
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dbfs"
 	"repro/internal/gdprdata"
@@ -43,6 +45,8 @@ func main() {
 		err = cmdStatus()
 	case "tune":
 		err = cmdTune(os.Args[2:])
+	case "nodes":
+		err = cmdNodes()
 	default:
 		usage()
 		os.Exit(2)
@@ -61,6 +65,7 @@ func usage() {
   rgpdctl fig1                                           render the Figure 1 dataset
   rgpdctl status                                         boot a probe machine, print its counters
   rgpdctl tune [knob=value ...]                          apply a tuning document on a probe machine
+  rgpdctl nodes                                          boot a probe cluster, show routing + erase propagation
     knobs: commit_window=2ms group_max_batch=8 admission_max_pending=64 membrane_cache=512
            rights_workers=4 serial_ops=true sweep_interval=30s rate_limit=<purpose>:<rate>:<burst>
            cold_after=1h repack_interval=1m`)
@@ -364,6 +369,98 @@ func cmdTune(args []string) error {
 	}
 	fmt.Println("tuning (after ApplyTuning):")
 	printTuning(sys.Tuning())
+	return nil
+}
+
+// cmdNodes boots a small 4-node probe cluster and walks the multi-node
+// contract end to end: geometry-independent placement, a cross-node copy
+// recorded in the durable ledger, and an Erase whose propagation to a
+// briefly-failing copy node completes within one propagation window.
+func cmdNodes() error {
+	const window = time.Minute
+	c, err := cluster.Boot(cluster.Options{
+		Nodes: 4,
+		Node: core.Options{
+			PDDiskBlocks:  4096,
+			NPDDiskBlocks: 1024,
+			NInodes:       512,
+			JournalBlocks: 64,
+			AuthorityBits: 1024,
+		},
+		PropagationWindow: window,
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.CreateType(&dbfs.Schema{
+		Name:   "probe",
+		Fields: []dbfs.Field{{Name: "name", Type: dbfs.TypeString}},
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster: %d nodes, propagation window %v\n", c.Nodes(), window)
+	fmt.Println("placement (home = SubjectHash(subject) mod nodes):")
+	subjects := make([]string, 8)
+	for i := range subjects {
+		s := fmt.Sprintf("subject-%d", i)
+		subjects[i] = s
+		if _, err := c.Insert("probe", s, dbfs.Record{"name": dbfs.S(s)}); err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s -> node %d (%s)\n", s, c.HomeOf(s), c.Node(c.HomeOf(s)).NodeName())
+	}
+
+	// Materialize a cross-node copy of subject-0 on its home's neighbor:
+	// the copy is named in the durable ledger before it becomes readable.
+	victim := subjects[0]
+	pdid, err := c.Insert("probe", victim, dbfs.Record{"name": dbfs.S(victim + "-extra")})
+	if err != nil {
+		return err
+	}
+	target := (c.HomeOf(victim) + 1) % c.Nodes()
+	copyID, err := c.MaterializeCopy(pdid, target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("copy: %s materialized on node %d as %s\n", pdid, target, copyID)
+	for _, e := range c.LedgerFor(victim) {
+		fmt.Printf("ledger: subject=%s pdid=%s node=%d home=%d origin=%s\n",
+			e.Subject, e.PDID, e.Node, e.Home, e.Origin)
+	}
+
+	status, err := c.Status()
+	if err != nil {
+		return err
+	}
+	for _, st := range status {
+		fmt.Printf("node %d (%s): subjects=%d copies-held=%d copies-tracked=%d pending-syncs=%d\n",
+			st.Index, st.Name, st.Subjects, st.CopiesHeld, st.CopiesTracked, st.PendingSyncs)
+	}
+
+	// Erase the copied subject while its copy node drops the first fan-out
+	// attempt, then let the propagator finish the job one window later.
+	c.FailNode(target, 1)
+	rep, err := c.Erase(victim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("erase: %s shredded %d pdid(s) on home node %d; fan-out ok=%v pending=%d\n",
+		rep.SubjectID, len(rep.Erased), rep.Home, rep.Fanout.OK(), c.PendingSyncs())
+	prop := c.StartPropagator()
+	if sim, ok := c.Node(0).SimClock(); ok {
+		sim.Advance(window + time.Second)
+	}
+	prop.Sync()
+	prop.Stop()
+	tn := c.Node(target)
+	_, readErr := tn.DBFS().GetRecord(tn.DEDToken(), copyID)
+	fmt.Printf("after one window: copy readable=%v ledger entries=%d pending=%d (retried=%d)\n",
+		readErr == nil, len(c.LedgerFor(victim)), c.PendingSyncs(), prop.Stats().Retried)
+	if readErr == nil || c.PendingSyncs() != 0 {
+		return fmt.Errorf("nodes: erasure did not propagate within one window")
+	}
+	fmt.Println("ok: every ledger-named copy dead within one propagation window")
 	return nil
 }
 

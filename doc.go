@@ -5,11 +5,12 @@
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory, the storage commit path, the membrane read path, the
 // admission-and-deadlines story, the actor FS core + block buffer cache,
-// the control plane + tuning API, and the content-addressed compressed
-// cold tier with shred-safe membrane snapshots), the runnable entry
-// points under cmd/ and examples/, and the benchmark harness in
+// the control plane + tuning API, the content-addressed compressed
+// cold tier with shred-safe membrane snapshots, and the multi-node
+// subject router with its durable cross-node copy ledger), the runnable
+// entry points under cmd/ and examples/, and the benchmark harness in
 // bench_test.go plus cmd/benchfig, whose registry regenerates every
-// reproduced artifact and the SC1-SC7 scaling experiments; cmd/benchgate
+// reproduced artifact and the SC1-SC8 scaling experiments; cmd/benchgate
 // holds CI to the checked-in BENCH_baseline.json floors.
 //
 // References:

@@ -26,6 +26,7 @@ package admission
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -100,8 +101,16 @@ func latencyBucket(d time.Duration) int {
 
 // Quantile estimates the q-quantile (q in [0,1], e.g. 0.99) of the
 // latencies recorded in the histogram, taking each bucket at its upper
-// bound (conservative: the estimate rounds up). Zero when empty.
+// bound (conservative: the estimate rounds up). Zero when empty. q is
+// clamped to [0,1] (NaN counts as 0): float-to-uint conversion of a
+// negative or NaN value is implementation-defined by the Go spec, and the
+// p99 signal feeding the admission controller must never go undefined.
 func (s Stats) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	var total uint64
 	for _, n := range s.LatencyHist {
 		total += n

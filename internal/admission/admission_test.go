@@ -2,6 +2,7 @@ package admission
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -130,6 +131,40 @@ func TestRemoveLimit(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		if _, err := c.Admit("p"); err != nil {
 			t.Fatalf("admit %d after removal: %v", i, err)
+		}
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	// A populated histogram: 100 completions in bucket 3 ([8,16)us), 10 in
+	// bucket 6 ([64,128)us). Bucket upper bounds: 16us and 128us.
+	var s Stats
+	s.LatencyHist[3] = 100
+	s.LatencyHist[6] = 10
+	s.LatencyMax = 100 * time.Microsecond
+	lo := 16 * time.Microsecond
+	hi := 128 * time.Microsecond
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{-1, lo},         // below range clamps to 0
+		{0, lo},          // first bucket's upper bound
+		{0.5, lo},        // rank 55 of 110 still in bucket 3
+		{0.99, hi},       // rank 108 lands in bucket 6
+		{1, hi},          // clamps to the last recorded sample
+		{2, hi},          // above range clamps to 1
+		{math.NaN(), lo}, // NaN counts as 0, never implementation-defined
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Empty stats stay zero whatever q is.
+	var empty Stats
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
 		}
 	}
 }

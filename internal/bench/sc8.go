@@ -1,0 +1,273 @@
+// SC8 — multi-node subject routing: insert/access scaling across cluster
+// sizes in deterministic device-op units, plus the cross-node erasure
+// propagation invariants (the copy-ledger contract).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// SC8Row is one fleet size's scaling measurement. Ops are PD-disk device
+// operations (reads+writes) — the deterministic unit every SC experiment
+// uses where wall-clock would break byte-identical JSON. CriticalOps is
+// the busiest node's share: with nodes running independently, the fleet's
+// completion time is its critical path, so TotalOps(1 node) / CriticalOps
+// (k nodes) is the idealized speedup the routing actually exposes.
+type SC8Row struct {
+	Nodes             int     `json:"nodes"`
+	InsertTotalOps    uint64  `json:"insert_total_ops"`
+	InsertCriticalOps uint64  `json:"insert_critical_ops"`
+	InsertSpeedup     float64 `json:"insert_speedup"`
+	AccessTotalOps    uint64  `json:"access_total_ops"`
+	AccessCriticalOps uint64  `json:"access_critical_ops"`
+	AccessSpeedup     float64 `json:"access_speedup"`
+}
+
+// SC8Report is the machine-readable SC8 result (BENCH_SC8.json).
+type SC8Report struct {
+	Experiment string   `json:"experiment"`
+	Schema     int      `json:"schema"`
+	Comment    string   `json:"comment,omitempty"`
+	Rows       []SC8Row `json:"rows"`
+	Summary    struct {
+		// Subjects is the routed population; the speedups echo the rows
+		// (gated as floors: the routing must keep exposing the fleet's
+		// parallelism).
+		Subjects       int     `json:"subjects"`
+		InsertSpeedup2 float64 `json:"insert_speedup_2"`
+		InsertSpeedup4 float64 `json:"insert_speedup_4"`
+		AccessSpeedup2 float64 `json:"access_speedup_2"`
+		AccessSpeedup4 float64 `json:"access_speedup_4"`
+		// The copy-ledger contract, checked exactly (invariants, no
+		// regress margin): after Erase on the home node — with one
+		// copy-holding node failing the first fan-out — every ledger-named
+		// remote copy is unreadable within one propagation window, the
+		// subject's ledger entries are drained, the deferred sync was
+		// retried within the window, and no node's PD disk holds the
+		// erased plaintext.
+		CopySubjects        int  `json:"copy_subjects"`
+		ErasePropagated     bool `json:"erase_propagated"`
+		LedgerDrained       bool `json:"ledger_drained"`
+		RetriedWithinWindow bool `json:"retried_within_window"`
+		RemoteResidueHits   int  `json:"remote_residue_hits"`
+	} `json:"summary"`
+}
+
+// sc8NodeOpts is the deterministic per-node template: seeded vault
+// entropy, caches disabled so device ops count real work, simulation-grade
+// escrow keys.
+func sc8NodeOpts(clk *simclock.Sim, seed uint64) core.Options {
+	return core.Options{
+		Clock:         clk,
+		CryptoRand:    xrand.NewReader(seed),
+		AuthorityBits: 1024,
+		PDDiskBlocks:  16384,
+		NPDDiskBlocks: 4096,
+		NInodes:       8192,
+		JournalBlocks: 256,
+		Workers:       2,
+		MembraneCache: -1,
+		BlockCache:    -1,
+	}
+}
+
+// sc8Fleet boots a k-node cluster with the Listing 1 type everywhere.
+func sc8Fleet(k int, seed uint64, window time.Duration) (*cluster.Cluster, *simclock.Sim, error) {
+	clk := simclock.NewSim(simclock.Epoch)
+	c, err := cluster.Boot(cluster.Options{
+		Nodes:             k,
+		Node:              sc8NodeOpts(clk, seed),
+		PropagationWindow: window,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.DeclareTypesDSL(listing1DSL, aliasOpts()); err != nil {
+		return nil, nil, err
+	}
+	return c, clk, nil
+}
+
+// pdOps snapshots each node's PD-disk device operations.
+func pdOps(c *cluster.Cluster) []uint64 {
+	out := make([]uint64, c.Nodes())
+	for i := range out {
+		st := c.Node(i).Stats().PDDisk
+		out[i] = st.Reads + st.Writes
+	}
+	return out
+}
+
+// deltaOps folds before/after snapshots into (total, critical-path max).
+func deltaOps(before, after []uint64) (total, max uint64) {
+	for i := range after {
+		d := after[i] - before[i]
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	return total, max
+}
+
+// runSC8 measures what the multi-node router buys and what it guarantees:
+// the same insert + subject-access workload on 1-, 2- and 4-node fleets
+// (speedup = single-node total ops over the k-node critical path), then
+// the erasure-propagation contract on a 4-node fleet with materialized
+// cross-node copies and one injected fan-out failure.
+func runSC8(w io.Writer, p Params) error {
+	nSubjects := p.subjects(96, 48)
+	nCopy := 12
+	if p.Small {
+		nCopy = 6
+	}
+	const window = time.Minute
+
+	report := SC8Report{Experiment: "SC8", Schema: 1}
+	report.Summary.Subjects = nSubjects
+	subjects := workload.SubjectIDs(nSubjects)
+
+	// --- scaling: identical workload per fleet size, seeded identically ---
+	for _, k := range []int{1, 2, 4} {
+		c, _, err := sc8Fleet(k, p.Seed, window)
+		if err != nil {
+			return err
+		}
+		rng := xrand.New(p.Seed)
+		before := pdOps(c)
+		for _, s := range subjects {
+			if _, err := c.Insert("user", s, workload.UserRecord(rng, s)); err != nil {
+				return err
+			}
+		}
+		mid := pdOps(c)
+		if _, err := c.AccessBatch(subjects); err != nil {
+			return err
+		}
+		after := pdOps(c)
+
+		row := SC8Row{Nodes: k}
+		row.InsertTotalOps, row.InsertCriticalOps = deltaOps(before, mid)
+		row.AccessTotalOps, row.AccessCriticalOps = deltaOps(mid, after)
+		report.Rows = append(report.Rows, row)
+	}
+	base := report.Rows[0]
+	for i := range report.Rows {
+		r := &report.Rows[i]
+		r.InsertSpeedup = float64(base.InsertTotalOps) / float64(r.InsertCriticalOps)
+		r.AccessSpeedup = float64(base.AccessTotalOps) / float64(r.AccessCriticalOps)
+		switch r.Nodes {
+		case 2:
+			report.Summary.InsertSpeedup2 = r.InsertSpeedup
+			report.Summary.AccessSpeedup2 = r.AccessSpeedup
+		case 4:
+			report.Summary.InsertSpeedup4 = r.InsertSpeedup
+			report.Summary.AccessSpeedup4 = r.AccessSpeedup
+		}
+	}
+
+	// --- propagation contract: copies, injected failure, bounded retry ---
+	c, clk, err := sc8Fleet(4, p.Seed+1, window)
+	if err != nil {
+		return err
+	}
+	rng := xrand.New(p.Seed + 1)
+	copySubjects := subjects[:nCopy]
+	secrets := make(map[string]string, nCopy)
+	targets := make(map[string]int, nCopy)
+	for _, s := range copySubjects {
+		rec := workload.UserRecord(rng, s)
+		secrets[s] = rec["pwd"].S
+		pdid, err := c.Insert("user", s, rec)
+		if err != nil {
+			return err
+		}
+		target := (c.HomeOf(s) + 1) % c.Nodes()
+		targets[s] = target
+		if _, err := c.MaterializeCopy(pdid, target); err != nil {
+			return err
+		}
+	}
+	// One copy-holding node drops the first fan-out attempt: the erase
+	// must report the partial failure and the propagator must finish the
+	// job within one window.
+	victim := copySubjects[0]
+	c.FailNode(targets[victim], 1)
+	report.Summary.CopySubjects = nCopy
+
+	deferred := 0
+	for _, s := range copySubjects {
+		rep, err := c.Erase(s)
+		if err != nil {
+			return err
+		}
+		if !rep.Fanout.OK() {
+			deferred++
+		}
+	}
+	prop := c.StartPropagator()
+	clk.Advance(window + time.Second)
+	prop.Sync()
+	prop.Stop()
+	report.Summary.RetriedWithinWindow = deferred == 1 && c.PendingSyncs() == 0
+
+	// Every ledger-named copy unreadable, every ledger entry drained,
+	// zero plaintext residue on any node's PD disk.
+	erased, drained := true, true
+	residue := 0
+	for _, s := range copySubjects {
+		if len(c.LedgerFor(s)) != 0 {
+			drained = false
+		}
+		node := c.Node(targets[s])
+		for _, pdid := range listSubject(node, s) {
+			if _, err := node.DBFS().GetRecord(node.DEDToken(), pdid); err == nil {
+				erased = false
+			}
+		}
+		for i := 0; i < c.Nodes(); i++ {
+			residue += len(c.Node(i).ResidueScan([]byte(secrets[s])))
+		}
+	}
+	report.Summary.ErasePropagated = erased
+	report.Summary.LedgerDrained = drained
+	report.Summary.RemoteResidueHits = residue
+
+	rows := make([][]string, 0, len(report.Rows))
+	for _, r := range report.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Nodes),
+			strconv.FormatUint(r.InsertTotalOps, 10), strconv.FormatUint(r.InsertCriticalOps, 10),
+			fmt.Sprintf("%.2fx", r.InsertSpeedup),
+			strconv.FormatUint(r.AccessTotalOps, 10), strconv.FormatUint(r.AccessCriticalOps, 10),
+			fmt.Sprintf("%.2fx", r.AccessSpeedup),
+		})
+	}
+	table(w, []string{"nodes", "ins ops", "ins crit", "ins speedup", "acc ops", "acc crit", "acc speedup"}, rows)
+	fmt.Fprintf(w, "  %d subjects routed by raw subject hash; speedup = 1-node total ops / k-node critical path\n", nSubjects)
+	fmt.Fprintf(w, "  propagation: %d subjects with cross-node copies, 1 injected fan-out failure\n", nCopy)
+	fmt.Fprintf(w, "  erase propagated=%v ledger drained=%v retried within %s=%v residue hits=%d\n",
+		report.Summary.ErasePropagated, report.Summary.LedgerDrained, window,
+		report.Summary.RetriedWithinWindow, report.Summary.RemoteResidueHits)
+	fmt.Fprintln(w, "  expectation: insert/access speedups hold their floors (>=1.6x at 2 nodes, >=2.5x at 4),")
+	fmt.Fprintln(w, "  and every ledger-named copy of an erased subject is dead within one propagation window")
+	return writeJSON(p, "SC8", &report)
+}
+
+// listSubject lists a subject's pdids on one node (empty when none).
+func listSubject(n *core.System, subject string) []string {
+	pdids, err := n.DBFS().ListBySubject(n.DEDToken(), subject)
+	if err != nil {
+		return nil
+	}
+	return pdids
+}

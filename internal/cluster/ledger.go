@@ -1,0 +1,266 @@
+// The durable cross-node copy ledger. When a subject's record is
+// materialized on a non-home node, the ledger records (subject, pdid,
+// node) — plus the origin pdid and home index — so rights operations know
+// exactly which nodes hold copies and must be reached. Entries live on the
+// SUBJECT'S HOME NODE, as one JSON file per subject under ledgerDir on the
+// node's NPD filesystem, written through BEFORE the copy becomes visible:
+// the ledger can name a copy that was never created (harmless — erasure on
+// the named node is subject-wide and idempotent), but a live copy is never
+// invisible to the ledger. Because the files sit in node storage, a router
+// rebuilt over the same nodes (New) reloads the full copy map and — via
+// reconcile — resumes any propagation the old router left unfinished.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ledgerDir is the per-node NPD directory holding the ledger files.
+const ledgerDir = "/cluster/ledger"
+
+// Entry records one cross-node copy: the subject's record Origin (a pdid on
+// the Home node) was materialized as PDID on node Node. PDID is empty in
+// the transient intent state — the entry is persisted before the copy is
+// inserted, then updated with the assigned pdid (both steps under the
+// subject lock, so readers outside MaterializeCopy only see it after a
+// mid-call crash; erasure handles that state subject-wide).
+type Entry struct {
+	Subject string `json:"subject"`
+	PDID    string `json:"pdid,omitempty"`
+	Node    int    `json:"node"`
+	Origin  string `json:"origin"`
+	Home    int    `json:"home"`
+}
+
+// ledger is the in-memory index over the per-subject files. The mutex is a
+// leaf lock below the per-subject op locks: ledger methods call into
+// plainfs (which has its own inode locking) but never back into the
+// cluster or a node's rights/DBFS layer.
+type ledger struct {
+	nodes []*core.System
+
+	mu        sync.Mutex
+	bySubject map[string][]Entry
+}
+
+// subjectFile maps a subject ID to its ledger file path. Subject IDs are
+// hex-encoded: plainfs treats "/" as a separator and subject IDs are
+// operator-chosen strings.
+func subjectFile(subject string) string {
+	return fmt.Sprintf("%s/%x", ledgerDir, subject)
+}
+
+// loadLedger rebuilds the index from every node's NPD ledger directory.
+func loadLedger(nodes []*core.System) (*ledger, error) {
+	l := &ledger{nodes: nodes, bySubject: make(map[string][]Entry)}
+	for i, n := range nodes {
+		fs := n.NPD()
+		if !fs.Exists(ledgerDir) {
+			continue
+		}
+		files, err := fs.List(ledgerDir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: load ledger on node %d: %w", i, err)
+		}
+		for _, f := range files {
+			if f.IsDir {
+				continue
+			}
+			b, err := fs.ReadFile(ledgerDir + "/" + f.Name)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: load ledger %s on node %d: %w", f.Name, i, err)
+			}
+			var entries []Entry
+			if err := json.Unmarshal(b, &entries); err != nil {
+				return nil, fmt.Errorf("cluster: decode ledger %s on node %d: %w", f.Name, i, err)
+			}
+			for _, e := range entries {
+				l.bySubject[e.Subject] = append(l.bySubject[e.Subject], e)
+			}
+		}
+	}
+	for s := range l.bySubject {
+		sortEntries(l.bySubject[s])
+	}
+	return l, nil
+}
+
+// sortEntries orders entries deterministically: node, then origin, then
+// copy pdid.
+func sortEntries(es []Entry) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Node != es[j].Node {
+			return es[i].Node < es[j].Node
+		}
+		if es[i].Origin != es[j].Origin {
+			return es[i].Origin < es[j].Origin
+		}
+		return es[i].PDID < es[j].PDID
+	})
+}
+
+// persistLocked writes the subject's current entries through to the home
+// node's NPD (removing the file when no entries remain). Caller holds l.mu.
+func (l *ledger) persistLocked(subject string, home int) error {
+	fs := l.nodes[home].NPD()
+	path := subjectFile(subject)
+	entries := l.bySubject[subject]
+	if len(entries) == 0 {
+		if fs.Exists(path) {
+			return fs.Remove(path)
+		}
+		return nil
+	}
+	b, err := json.Marshal(entries)
+	if err != nil {
+		return fmt.Errorf("cluster: encode ledger for %s: %w", subject, err)
+	}
+	if err := fs.MkdirAll(ledgerDir); err != nil {
+		return fmt.Errorf("cluster: ledger dir on node %d: %w", home, err)
+	}
+	return fs.WriteFile(path, b)
+}
+
+// record adds an entry (durably, before the caller makes the copy visible).
+func (l *ledger) record(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bySubject[e.Subject] = append(l.bySubject[e.Subject], e)
+	sortEntries(l.bySubject[e.Subject])
+	if err := l.persistLocked(e.Subject, e.Home); err != nil {
+		// Keep memory and disk consistent: an unpersisted entry must not
+		// admit a copy the reloaded ledger would not know about.
+		l.bySubject[e.Subject] = removeEntry(l.bySubject[e.Subject], e)
+		return err
+	}
+	return nil
+}
+
+// setPDID fills in the copy pdid of an intent entry and re-persists.
+func (l *ledger) setPDID(subject string, home, node int, origin, pdid string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	es := l.bySubject[subject]
+	for i := range es {
+		if es[i].Node == node && es[i].Origin == origin && es[i].PDID == "" {
+			es[i].PDID = pdid
+			sortEntries(es)
+			return l.persistLocked(subject, home)
+		}
+	}
+	return fmt.Errorf("cluster: no intent entry for %s origin %s on node %d", subject, origin, node)
+}
+
+// remove drops one entry and re-persists.
+func (l *ledger) remove(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bySubject[e.Subject] = removeEntry(l.bySubject[e.Subject], e)
+	if len(l.bySubject[e.Subject]) == 0 {
+		delete(l.bySubject, e.Subject)
+		fs := l.nodes[e.Home].NPD()
+		if p := subjectFile(e.Subject); fs.Exists(p) {
+			return fs.Remove(p)
+		}
+		return nil
+	}
+	return l.persistLocked(e.Subject, e.Home)
+}
+
+// removeNode drops every entry naming node for the subject.
+func (l *ledger) removeNode(subject string, home, node int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	es := l.bySubject[subject][:0]
+	for _, e := range l.bySubject[subject] {
+		if e.Node != node {
+			es = append(es, e)
+		}
+	}
+	if len(es) == 0 {
+		delete(l.bySubject, subject)
+	} else {
+		l.bySubject[subject] = es
+	}
+	return l.persistLocked(subject, home)
+}
+
+func removeEntry(es []Entry, e Entry) []Entry {
+	out := es[:0]
+	for _, x := range es {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// entriesFor returns the subject's entries, sorted (a copy).
+func (l *ledger) entriesFor(subject string) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.bySubject[subject]...)
+}
+
+// forNode returns the subject's entries naming node, sorted (a copy).
+func (l *ledger) forNode(subject string, node int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.bySubject[subject] {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// nodesFor returns the distinct nodes holding copies for the subject,
+// ascending.
+func (l *ledger) nodesFor(subject string) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[int]bool)
+	var out []int
+	for _, e := range l.bySubject[subject] {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			out = append(out, e.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// all returns every entry, sorted by subject then the entry order.
+func (l *ledger) all() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	subjects := make([]string, 0, len(l.bySubject))
+	for s := range l.bySubject {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	var out []Entry
+	for _, s := range subjects {
+		out = append(out, l.bySubject[s]...)
+	}
+	return out
+}
+
+// subjects returns every subject with ledger entries, sorted.
+func (l *ledger) subjects() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.bySubject))
+	for s := range l.bySubject {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

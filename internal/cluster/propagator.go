@@ -1,0 +1,281 @@
+// The bounded-window propagation loop. A cross-node mutation that fails on
+// some copy-holding node (node briefly unreachable, injected fault) is not
+// lost: the cluster queues the (subject, node) sync with a deadline one
+// PropagationWindow out, and the Propagator — a background loop modeled on
+// the rights.Sweeper — retries every due sync, re-arming failures for the
+// next window. The guarantee is the window bound: once the node is
+// reachable again, the mutation lands within one PropagationWindow. The
+// loop waits on simclock.Waiter, so simulated-clock tests drive it
+// deterministically: enqueue a failure, advance the clock past the window,
+// Sync(), assert the copy is dead.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// retryPending runs one propagation pass: every queued sync whose deadline
+// has arrived (all of them when force is set), in (subject, node) order.
+// Failures stay queued with a fresh deadline one window out.
+func (c *Cluster) retryPending(force bool) (retried, failed int) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	keys := make([]pendKey, 0, len(c.pending))
+	for k, dl := range c.pending {
+		if force || !now.Before(dl) {
+			keys = append(keys, k)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].subject != keys[j].subject {
+			return keys[i].subject < keys[j].subject
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		unlock := c.lockSubject(k.subject)
+		err := c.syncNode(k.subject, c.HomeOf(k.subject), k.node)
+		unlock()
+		retried++
+		c.mu.Lock()
+		if err != nil {
+			failed++
+			c.pending[k] = c.clock.Now().Add(c.window)
+		} else {
+			delete(c.pending, k)
+		}
+		c.mu.Unlock()
+	}
+	return retried, failed
+}
+
+// earliestPending reports the soonest retry deadline in the queue.
+func (c *Cluster) earliestPending() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var min time.Time
+	for _, dl := range c.pending {
+		if min.IsZero() || dl.Before(min) {
+			min = dl
+		}
+	}
+	return min, !min.IsZero()
+}
+
+// setKick installs (or clears) the propagator wakeup called by enqueue.
+func (c *Cluster) setKick(fn func()) {
+	c.mu.Lock()
+	c.kick = fn
+	c.mu.Unlock()
+}
+
+// PropagatorStats counts the background propagator's activity.
+type PropagatorStats struct {
+	// Passes counts completed retry passes; Retried / Failed accumulate
+	// per-sync outcomes across passes.
+	Passes  uint64
+	Retried uint64
+	Failed  uint64
+	// LastPass is the start instant of the last completed pass.
+	LastPass time.Time
+}
+
+// Propagator is the background retry loop. Start/Stop are idempotent and a
+// stopped propagator can be restarted.
+type Propagator struct {
+	c *Cluster
+	// wake is the kick channel: enqueue, Sync, Stop and a window change
+	// nudge the loop out of its clock wait.
+	wake chan struct{}
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	running     bool
+	stop        chan struct{}
+	done        chan struct{}
+	forced      bool
+	lastCovered time.Time
+	stats       PropagatorStats
+}
+
+// NewPropagator builds a propagator for the cluster. Call Start to run it.
+func NewPropagator(c *Cluster) *Propagator {
+	p := &Propagator{c: c, wake: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// StartPropagator builds and starts a background propagator.
+func (c *Cluster) StartPropagator() *Propagator {
+	p := NewPropagator(c)
+	p.Start()
+	return p
+}
+
+// Start launches the background loop. Starting a running propagator is a
+// no-op.
+func (p *Propagator) Start() {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+	p.c.setKick(p.kickWake)
+	go p.loop(stop, done)
+}
+
+// Stop halts the loop and waits for it to exit; an in-flight pass
+// finishes. Stopping a stopped propagator is a no-op.
+func (p *Propagator) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+	p.c.setKick(nil)
+	close(stop)
+	p.kickWake()
+	<-done
+	p.mu.Lock()
+	p.cond.Broadcast() // unblock Sync callers
+	p.mu.Unlock()
+}
+
+// Running reports whether the loop is active.
+func (p *Propagator) Running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Stats snapshots the propagator counters.
+func (p *Propagator) Stats() PropagatorStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Sync forces a pass retrying every queued sync — due or not — and blocks
+// until it completes (or the propagator stops): the deterministic join
+// point for simclock tests.
+func (p *Propagator) Sync() {
+	target := p.c.clock.Now()
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.forced = true
+	p.mu.Unlock()
+	p.kickWake()
+	p.mu.Lock()
+	for p.running && p.lastCovered.Before(target) {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// kickWake nudges the loop; a pending nudge is enough, extra ones drop.
+func (p *Propagator) kickWake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the propagator body: run a pass whenever a queued sync is due
+// (or a Sync forces one), otherwise sleep until the earliest deadline or
+// one PropagationWindow, whichever is sooner. Right after a pass the loop
+// always goes through the wait path, so a sync that keeps failing is
+// retried once per window instead of spinning.
+func (p *Propagator) loop(stop, done chan struct{}) {
+	defer close(done)
+	ranPass := false
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		now := p.c.clock.Now()
+		p.mu.Lock()
+		forced := p.forced
+		p.forced = false
+		p.mu.Unlock()
+		run := forced
+		if !run && !ranPass {
+			if dl, ok := p.c.earliestPending(); ok && !now.Before(dl) {
+				run = true
+			}
+		}
+		if run {
+			p.pass(forced)
+			ranPass = true
+			continue
+		}
+		target := now.Add(p.c.window)
+		if dl, ok := p.c.earliestPending(); ok && dl.After(now) && dl.Before(target) {
+			target = dl
+		}
+		p.waitUntil(target, stop)
+		ranPass = false
+	}
+}
+
+// pass runs one retry pass and records its outcome.
+func (p *Propagator) pass(force bool) {
+	start := p.c.clock.Now()
+	retried, failed := p.c.retryPending(force)
+	p.mu.Lock()
+	p.stats.Passes++
+	p.stats.Retried += uint64(retried)
+	p.stats.Failed += uint64(failed)
+	p.stats.LastPass = start
+	if start.After(p.lastCovered) {
+		p.lastCovered = start
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// waitUntil blocks until the shared clock reaches target, a kick arrives,
+// or stop closes.
+func (p *Propagator) waitUntil(target time.Time, stop chan struct{}) {
+	w, ok := p.c.clock.(simclock.Waiter)
+	if !ok {
+		// Unknown clock implementation: poll at a coarse real-time cadence
+		// so the window bound still holds approximately.
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-p.wake:
+		case <-stop:
+		}
+		return
+	}
+	cancel := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			close(cancel)
+		case <-p.wake:
+			close(cancel)
+		case <-finished:
+		}
+	}()
+	w.WaitUntil(target, cancel)
+	close(finished)
+}

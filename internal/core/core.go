@@ -156,6 +156,11 @@ type Options struct {
 	// ControlSLO is the admitted-latency p99 objective the admission
 	// controller steers MaxPending toward (0 = 50ms).
 	ControlSLO time.Duration
+	// NodeName labels this machine when it runs as one node of a
+	// multi-node cluster (internal/cluster): it appears in the cluster's
+	// status output and per-node error reports. Empty for standalone
+	// machines.
+	NodeName string
 }
 
 func (o *Options) withDefaults() {
@@ -436,6 +441,10 @@ func (s *System) InvokeAsync(req ps.InvokeRequest) <-chan ded.BatchItem {
 
 // Rights is the data-subject rights engine.
 func (s *System) Rights() *rights.Engine { return s.rights }
+
+// NodeName reports the label this machine carries as a cluster node
+// (Options.NodeName; empty for standalone machines).
+func (s *System) NodeName() string { return s.opts.NodeName }
 
 // Audit is the processing log.
 func (s *System) Audit() *audit.Log { return s.log }

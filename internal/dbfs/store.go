@@ -116,13 +116,6 @@ type formatEntry struct {
 // worst-shard skew near 1x at realistic subject populations.
 const DefaultShards = 64
 
-// NumShards is the default shard count under its historical name.
-//
-// Deprecated: the shard count is a mount-time option (core.Options.Shards /
-// CreateShards) — size shard-congruent state from Store.NumShards()
-// instead. Retained so default-geometry callers keep compiling.
-const NumShards = DefaultShards
-
 // hashSubject is the raw FNV-1a hash of a subject ID (inline: this runs on
 // every record operation, so it must not allocate).
 func hashSubject(subjectID string) uint32 {
@@ -133,11 +126,18 @@ func hashSubject(subjectID string) uint32 {
 	return h
 }
 
+// SubjectHash is the raw FNV-1a hash of a subject ID — a pure function of
+// the ID, independent of any store's shard geometry. Cross-store placement
+// (the cluster router's node choice) MUST derive from this full-entropy
+// value, never from ShardOf: `hash % shards` discards all but log2(shards)
+// bits and couples placement to the mount-time shard count, so a remount
+// with a different Options.Shards would silently re-home subjects.
+func SubjectHash(subjectID string) uint32 { return hashSubject(subjectID) }
+
 // ShardOf reports the subject-shard index a subject ID hashes to under the
-// DEFAULT geometry (DefaultShards). The hash is a pure function of the ID,
-// so the mapping is stable across stores and remounts — the property the
-// ROADMAP multi-node router builds on. Stores mounted with a custom shard
-// count route through the Store.ShardOf method instead.
+// DEFAULT geometry (DefaultShards). Stores mounted with a custom shard
+// count route through the Store.ShardOf method instead; geometry-
+// independent placement routes on SubjectHash.
 func ShardOf(subjectID string) uint32 { return hashSubject(subjectID) % DefaultShards }
 
 // Store is the mounted DBFS. All methods demand an LSM token carrying

@@ -109,11 +109,14 @@ func (e *Engine) workerCount() int {
 	return 1
 }
 
-// forEachIndexed runs fn(i) for every i in [0, n) on up to workers
+// ForEachIndexed runs fn(i) for every i in [0, n) on up to workers
 // goroutines and returns the error of the LOWEST failing index — the same
 // error a serial loop would have surfaced first, so parallel rights keep
-// deterministic failure reporting.
-func forEachIndexed(n, workers int, fn func(int) error) error {
+// deterministic failure reporting. Exported because it is the merge
+// contract of every fanned-out rights op: the cluster router uses the
+// same helper for its per-node fan-outs, so a multi-node sweep or batch
+// access reports exactly the error a single-node engine would have.
+func ForEachIndexed(n, workers int, fn func(int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -214,7 +217,7 @@ func (e *Engine) Access(subjectID string) (*AccessReport, error) {
 // not oversubscribed.
 func (e *Engine) AccessBatch(subjectIDs []string) ([]*AccessReport, error) {
 	out := make([]*AccessReport, len(subjectIDs))
-	err := forEachIndexed(len(subjectIDs), e.workerCount(), func(i int) error {
+	err := ForEachIndexed(len(subjectIDs), e.workerCount(), func(i int) error {
 		rep, err := e.access(subjectIDs[i], 1)
 		if err != nil {
 			return err
@@ -245,7 +248,7 @@ func (e *Engine) access(subjectID string, workers int) (*AccessReport, error) {
 		return nil, fmt.Errorf("rights: access %s: %w", subjectID, err)
 	}
 	exps := make([]RecordExport, len(pdids))
-	err = forEachIndexed(len(pdids), workers, func(i int) error {
+	err = ForEachIndexed(len(pdids), workers, func(i int) error {
 		pdid, m := pdids[i], ms[i]
 		exp := RecordExport{
 			PDID:        pdid,
