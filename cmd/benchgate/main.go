@@ -12,8 +12,11 @@
 // SC4's admission-controlled goodput ratio past saturation, SC5's
 // actor-core contention speedup plus the block cache's read absorption,
 // SC6's control-plane convergence/band/oscillation invariants, SC7's
-// cold-tier footprint/shred-safety contract, and SC8's multi-node routing
-// speedups plus the cross-node erasure-propagation invariants.
+// cold-tier footprint/shred-safety contract, SC8's multi-node routing
+// speedups plus the cross-node erasure-propagation invariants, and SC9's
+// per-op-class macro throughput floors and p99 ceilings plus the exact
+// regulator invariants (zero residue, zero erased-readable, zero consent
+// mismatches).
 //
 // A baseline entry with no generated result — or a generated result with no
 // baseline entry — is a configuration error (exit 2) named after the
@@ -352,6 +355,73 @@ func gateSC8(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress 
 	return ok, nil
 }
 
+// gateSC9 compares the macro-workload scorecards. For every baseline
+// (scenario, op class) row the current run must hold the per-class
+// throughput floor and p99 ceiling, and every scenario must hold the exact
+// regulator invariants: zero plaintext residue over a non-empty erased
+// sample, zero erased-but-readable records, zero consent-inconsistent
+// access exports over a non-empty check — correctness, so no regress
+// margin applies. SC9 is fully deterministic (simclock pacing, simulated
+// device-op latency), so the numeric metrics are expected to match the
+// baseline exactly; the margin only absorbs a deliberate retune.
+func gateSC9(out io.Writer, baseRaw json.RawMessage, curPath string, maxRegress float64) (bool, error) {
+	var base, cur bench.SC9Report
+	if err := decodeReport(baseRaw, "baseline", "SC9", &base); err != nil {
+		return false, err
+	}
+	if err := decodeFile(curPath, "SC9", &cur); err != nil {
+		return false, err
+	}
+	if base.Experiment != "SC9" || len(base.Scenarios) == 0 || cur.Experiment != "SC9" || len(cur.Scenarios) == 0 {
+		return false, confErrf("experiment SC9: malformed report (baseline or %s)", curPath)
+	}
+	curScen := make(map[string]int, len(cur.Scenarios))
+	for i, cs := range cur.Scenarios {
+		curScen[cs.Scenario] = i
+	}
+	ok := true
+	for _, bs := range base.Scenarios {
+		ci, found := curScen[bs.Scenario]
+		if !found {
+			return false, confErrf("experiment SC9: scenario %s in baseline but absent from %s", bs.Scenario, curPath)
+		}
+		cs := cur.Scenarios[ci]
+		curRows := make(map[string]int, len(cs.Classes))
+		for i, row := range cs.Classes {
+			curRows[row.Class] = i
+		}
+		for _, brow := range bs.Classes {
+			ri, found := curRows[brow.Class]
+			if !found {
+				return false, confErrf("experiment SC9: scenario %s class %s in baseline but absent from %s",
+					bs.Scenario, brow.Class, curPath)
+			}
+			crow := cs.Classes[ri]
+			name := bs.Scenario + "/" + brow.Class
+			mok, err := checkFloor(out, "SC9", name+" ops/s", brow.OpsPerSec, crow.OpsPerSec, maxRegress)
+			if err != nil {
+				return false, err
+			}
+			ok = mok && ok
+			mok, err = checkCeiling(out, "SC9", name+" p99us", float64(brow.P99us), float64(crow.P99us), maxRegress)
+			if err != nil {
+				return false, err
+			}
+			ok = mok && ok
+		}
+		inv := cs.Invariants
+		ok = checkInvariant(out, "SC9", bs.Scenario+" residue_zero",
+			inv.ResidueHits == 0 && inv.ResidueChecked > 0) && ok
+		ok = checkInvariant(out, "SC9", bs.Scenario+" erased_unreadable", inv.ErasedReadable == 0) && ok
+		ok = checkInvariant(out, "SC9", bs.Scenario+" consent_consistent",
+			inv.ConsentMismatches == 0 && inv.AccessChecked > 0) && ok
+		if bs.Invariants.SweptRecords > 0 {
+			ok = checkInvariant(out, "SC9", bs.Scenario+" retention_swept", inv.SweptRecords > 0) && ok
+		}
+	}
+	return ok, nil
+}
+
 // gates maps experiment id to its comparison; adding a gated experiment
 // means adding a row here AND an entry to BENCH_baseline.json.
 var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, error){
@@ -362,6 +432,7 @@ var gates = map[string]func(io.Writer, json.RawMessage, string, float64) (bool, 
 	"SC6": gateSC6,
 	"SC7": gateSC7,
 	"SC8": gateSC8,
+	"SC9": gateSC9,
 }
 
 // run executes the whole gate. It returns nil when every gated metric

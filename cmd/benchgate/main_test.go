@@ -119,10 +119,10 @@ func TestRunEdgePaths(t *testing.T) {
 		},
 		{
 			name:     "baseline entry without a registered gate",
-			baseline: map[string]any{"SC9": sc2Report(2)},
-			results:  map[string]any{"SC9": sc2Report(2)},
+			baseline: map[string]any{"SC99": sc2Report(2)},
+			results:  map[string]any{"SC99": sc2Report(2)},
 			wantConfigErr: []string{
-				"experiment SC9",
+				"experiment SC99",
 				"no registered gate",
 			},
 		},

@@ -9,6 +9,7 @@
 //	rgpdctl status             # boot a probe machine, print its counters
 //	rgpdctl tune [knob=value ...]   # apply a tuning document on a probe machine
 //	rgpdctl nodes              # boot a probe cluster, show routing + erase propagation
+//	rgpdctl macro <scenario>   # run a macro workload scenario, print its scorecard
 package main
 
 import (
@@ -23,7 +24,10 @@ import (
 	"repro/internal/dbfs"
 	"repro/internal/gdprdata"
 	"repro/internal/purpose"
+	"repro/internal/simclock"
 	"repro/internal/typedsl"
+	"repro/internal/workload"
+	"repro/internal/xrand"
 )
 
 func main() {
@@ -47,6 +51,8 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "nodes":
 		err = cmdNodes()
+	case "macro":
+		err = cmdMacro(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -66,6 +72,7 @@ func usage() {
   rgpdctl status                                         boot a probe machine, print its counters
   rgpdctl tune [knob=value ...]                          apply a tuning document on a probe machine
   rgpdctl nodes                                          boot a probe cluster, show routing + erase propagation
+  rgpdctl macro <scenario> [seed] [-trace]               run a macro scenario (CI scale), print its scorecard
     knobs: commit_window=2ms group_max_batch=8 admission_max_pending=64 membrane_cache=512
            rights_workers=4 serial_ops=true sweep_interval=30s rate_limit=<purpose>:<rate>:<burst>
            cold_after=1h repack_interval=1m`)
@@ -473,4 +480,72 @@ func cmdFig1() error {
 	}
 	fmt.Println()
 	return gdprdata.RenderRight(os.Stdout)
+}
+
+// cmdMacro runs one macro scenario at CI scale on a fresh probe machine
+// and prints its scorecard; with -trace it prints the deterministic op
+// trace instead of executing it.
+func cmdMacro(args []string) error {
+	seed := uint64(42)
+	trace := false
+	var name string
+	for _, a := range args {
+		switch {
+		case a == "-trace":
+			trace = true
+		case name == "":
+			name = a
+		default:
+			n, err := strconv.ParseUint(a, 10, 64)
+			if err != nil {
+				return fmt.Errorf("macro: bad seed %q: %w", a, err)
+			}
+			seed = n
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, sc := range workload.Scenarios() {
+		names = append(names, sc.Name)
+	}
+	if name == "" {
+		return fmt.Errorf("macro: usage: rgpdctl macro <scenario> [seed] [-trace] — scenarios: %s",
+			strings.Join(names, ", "))
+	}
+	sc, ok := workload.LookupScenario(name)
+	if !ok {
+		return fmt.Errorf("macro: unknown scenario %q (scenarios: %s)", name, strings.Join(names, ", "))
+	}
+	mix := sc.MixFor(true)
+	ops, err := workload.Generate(mix, seed)
+	if err != nil {
+		return err
+	}
+	if trace {
+		_, err := os.Stdout.Write(workload.EncodeTrace(ops))
+		return err
+	}
+	blocks, npdBlocks, inodes := workload.BootSizing(mix, ops)
+	sys, err := core.Boot(core.Options{
+		Clock:         simclock.NewSim(simclock.Epoch),
+		CryptoRand:    xrand.NewReader(seed),
+		AuthorityBits: 1024,
+		PDDiskBlocks:  blocks,
+		NPDDiskBlocks: npdBlocks,
+		NInodes:       inodes,
+		JournalBlocks: 256,
+		Workers:       2,
+	})
+	if err != nil {
+		return err
+	}
+	card, err := workload.RunScenario(workload.NewSystemTarget(sys), sc,
+		workload.RunConfig{Seed: seed, Small: true, Pace: true})
+	if err != nil {
+		return err
+	}
+	workload.WriteScorecard(os.Stdout, card)
+	if !card.Clean() {
+		return fmt.Errorf("macro: regulator invariants violated")
+	}
+	return nil
 }

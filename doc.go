@@ -6,12 +6,14 @@
 // inventory, the storage commit path, the membrane read path, the
 // admission-and-deadlines story, the actor FS core + block buffer cache,
 // the control plane + tuning API, the content-addressed compressed
-// cold tier with shred-safe membrane snapshots, and the multi-node
-// subject router with its durable cross-node copy ledger), the runnable
-// entry points under cmd/ and examples/, and the benchmark harness in
-// bench_test.go plus cmd/benchfig, whose registry regenerates every
-// reproduced artifact and the SC1-SC8 scaling experiments; cmd/benchgate
-// holds CI to the checked-in BENCH_baseline.json floors.
+// cold tier with shred-safe membrane snapshots, the multi-node
+// subject router with its durable cross-node copy ledger, and the
+// deterministic macro-workload subsystem with its regulator-grade
+// scenario scorecards), the runnable entry points under cmd/ and
+// examples/, and the benchmark harness in bench_test.go plus
+// cmd/benchfig, whose registry regenerates every reproduced artifact
+// and the SC1-SC9 scaling experiments; cmd/benchgate holds CI to the
+// checked-in BENCH_baseline.json floors.
 //
 // References:
 //
@@ -26,4 +28,9 @@
 //   - djafs (SNIPPETS.md section 3) — the model for internal/coldtier's
 //     content-addressed compressed archives (hash-based dedup, lazy
 //     repacking of cold JSON records).
+//   - Shah, Banakar, Shastri, Wasserman, Chidambaram, "Analyzing the
+//     Impact of GDPR on Storage Systems" (arXiv:1903.04880) — the
+//     GDPR-storage benchmark whose op classes (ordinary traffic
+//     interleaved with access, erasure, consent and retention rights
+//     traffic) shape internal/workload's SC9 macro scenarios.
 package repro

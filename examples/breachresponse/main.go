@@ -1,0 +1,83 @@
+// Breach response: after a disclosure, subjects revoke consent and invoke
+// the right to be forgotten en masse, while the service keeps running.
+//
+// The macro scenario models the wave: ordinary profile traffic with
+// periodic bursts of consent withdrawals (×20) and erasure requests (×10),
+// driven against one machine. The scorecard shows the wave absorbed as
+// first-class traffic — erasure and consent changes have their own
+// throughput and tail-latency rows — and the post-run invariants prove the
+// machine kept its promises under the surge: a raw-device scan finds zero
+// plaintext residue of any erased record, no erased record is still
+// readable, and every Article 15 report stays consent-consistent.
+//
+//	go run ./examples/breachresponse
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+const seed = 42
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc, ok := workload.LookupScenario("breach-response")
+	if !ok {
+		return fmt.Errorf("breach-response scenario missing")
+	}
+	mix := sc.MixFor(true)
+	ops, err := workload.Generate(mix, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== breach response: %d subjects, %d ops over %.0fs of simulated traffic ==\n",
+		mix.Subjects, len(ops), mix.Duration.Seconds())
+	fmt.Println("   consent withdrawals and erasure requests arrive in waves on top of")
+	fmt.Println("   ordinary profile traffic; the machine must shred, not just unlink")
+	fmt.Println()
+
+	blocks, npdBlocks, inodes := workload.BootSizing(mix, ops)
+	sys, err := core.Boot(core.Options{
+		Clock:         simclock.NewSim(simclock.Epoch),
+		CryptoRand:    xrand.NewReader(seed),
+		AuthorityBits: 1024,
+		PDDiskBlocks:  blocks,
+		NPDDiskBlocks: npdBlocks,
+		NInodes:       inodes,
+		JournalBlocks: 256,
+		Workers:       2,
+	})
+	if err != nil {
+		return err
+	}
+	card, err := workload.RunScenario(workload.NewSystemTarget(sys), sc,
+		workload.RunConfig{Seed: seed, Small: true, Pace: true})
+	if err != nil {
+		return err
+	}
+	workload.WriteScorecard(os.Stdout, card)
+	fmt.Println()
+
+	inv := card.Invariants
+	fmt.Printf("erasure wave: %d subjects / %d records shredded during the run\n",
+		inv.ErasedSubjects, inv.ErasedRecords)
+	fmt.Printf("raw-device scan: %d plaintext hits over %d sampled erased secrets\n",
+		inv.ResidueHits, inv.ResidueChecked)
+	if !card.Clean() {
+		return fmt.Errorf("regulator invariants violated: %+v", inv)
+	}
+	fmt.Println("ok: the wave was absorbed and the right to be forgotten held on raw media")
+	return nil
+}

@@ -1,0 +1,94 @@
+// Regulator audit: a supervisory authority serves a bulk Article 15
+// request — every data subject's records, purposes and consent state —
+// while the bank keeps serving its rate-limited foreground traffic.
+//
+// The macro scenario drives the whole machine at once: account inserts and
+// updates, purpose-bound KYC/analytics queries behind a per-purpose
+// admission token bucket, single Article 15 access requests, the bulk
+// AccessBatch audit sweeps, a trickle of erasures and consent changes, and
+// session churn for the retention sweeper. The scorecard shows what a
+// regulator would ask for: per-op-class throughput and tail latency, how
+// much foreground load the admission controller shed to protect the SLO,
+// and the exact compliance invariants (zero plaintext residue of erased
+// records, zero erased-but-readable records, every access report
+// consent-consistent).
+//
+//	go run ./examples/regulatoraudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+const seed = 42
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc, ok := workload.LookupScenario("regulator-audit")
+	if !ok {
+		return fmt.Errorf("regulator-audit scenario missing")
+	}
+	mix := sc.MixFor(true)
+	ops, err := workload.Generate(mix, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== regulator audit: %d subjects, %d ops over %.0fs of simulated traffic ==\n",
+		mix.Subjects, len(ops), mix.Duration.Seconds())
+	fmt.Println("   foreground `service` queries are rate-limited; the bulk Article 15")
+	fmt.Println("   audit sweeps run as access-batch ops against the same machine")
+	fmt.Println()
+
+	blocks, npdBlocks, inodes := workload.BootSizing(mix, ops)
+	sys, err := core.Boot(core.Options{
+		Clock:         simclock.NewSim(simclock.Epoch),
+		CryptoRand:    xrand.NewReader(seed),
+		AuthorityBits: 1024,
+		PDDiskBlocks:  blocks,
+		NPDDiskBlocks: npdBlocks,
+		NInodes:       inodes,
+		JournalBlocks: 256,
+		Workers:       2,
+	})
+	if err != nil {
+		return err
+	}
+	card, err := workload.RunScenario(workload.NewSystemTarget(sys), sc,
+		workload.RunConfig{Seed: seed, Small: true, Pace: true})
+	if err != nil {
+		return err
+	}
+	workload.WriteScorecard(os.Stdout, card)
+	fmt.Println()
+
+	var queries, batches workload.ClassStats
+	for _, row := range card.Classes {
+		switch row.Class {
+		case "ded-query":
+			queries = row
+		case "access-batch":
+			batches = row
+		}
+	}
+	fmt.Printf("admission control: %d of %d foreground queries shed at the `service` token bucket\n",
+		queries.Rejected, queries.Issued)
+	fmt.Printf("audit sweeps: %d access-batch ops exported and consent-checked %d records\n",
+		batches.Issued, card.Invariants.AccessChecked)
+	if !card.Clean() {
+		return fmt.Errorf("regulator invariants violated: %+v", card.Invariants)
+	}
+	fmt.Println("ok: audit served under load, every compliance invariant holds")
+	return nil
+}

@@ -26,11 +26,11 @@ package admission
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/latencyhist"
 	"repro/internal/simclock"
 )
 
@@ -77,59 +77,25 @@ type Stats struct {
 	// measured by the caller, independent of the refill clock.
 	LatencyTotal time.Duration
 	LatencyMax   time.Duration
-	// LatencyHist buckets completed-invocation latencies by power of two:
-	// bucket i counts latencies in [2^i, 2^(i+1)) microseconds (bucket 0
-	// also absorbs sub-microsecond completions). Coarse by design — it
-	// exists so the control plane can estimate a p99 without per-sample
-	// history.
-	LatencyHist [LatencyBuckets]uint64
+	// LatencyHist buckets completed-invocation latencies by power of two
+	// (see internal/latencyhist). Coarse by design — it exists so the
+	// control plane can estimate a p99 without per-sample history.
+	LatencyHist latencyhist.Hist
 }
 
 // LatencyBuckets is the histogram width: 2^29 µs ≈ 9 minutes tops.
-const LatencyBuckets = 30
-
-// latencyBucket maps a latency to its histogram bucket.
-func latencyBucket(d time.Duration) int {
-	us := d.Microseconds()
-	b := 0
-	for us > 1 && b < LatencyBuckets-1 {
-		us >>= 1
-		b++
-	}
-	return b
-}
+// (Deprecated alias for latencyhist.Buckets, kept for callers that size
+// windows off the admission stats.)
+const LatencyBuckets = latencyhist.Buckets
 
 // Quantile estimates the q-quantile (q in [0,1], e.g. 0.99) of the
-// latencies recorded in the histogram, taking each bucket at its upper
-// bound (conservative: the estimate rounds up). Zero when empty. q is
-// clamped to [0,1] (NaN counts as 0): float-to-uint conversion of a
-// negative or NaN value is implementation-defined by the Go spec, and the
-// p99 signal feeding the admission controller must never go undefined.
+// latencies recorded in the histogram — a thin wrapper over
+// latencyhist.Hist.Quantile, which takes each bucket at its upper bound
+// (conservative), returns zero when empty, and clamps q to [0,1] (NaN
+// counts as 0) so the p99 signal feeding the admission controller never
+// goes undefined.
 func (s Stats) Quantile(q float64) time.Duration {
-	if math.IsNaN(q) || q < 0 {
-		q = 0
-	} else if q > 1 {
-		q = 1
-	}
-	var total uint64
-	for _, n := range s.LatencyHist {
-		total += n
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i, n := range s.LatencyHist {
-		seen += n
-		if seen > rank {
-			return time.Duration(1<<uint(i+1)) * time.Microsecond
-		}
-	}
-	return s.LatencyMax
+	return s.LatencyHist.Quantile(q)
 }
 
 // Rejected reports the total invocations shed by either mechanism.
@@ -290,7 +256,7 @@ func (c *Controller) release(latency time.Duration) {
 	if latency > c.stats.LatencyMax {
 		c.stats.LatencyMax = latency
 	}
-	c.stats.LatencyHist[latencyBucket(latency)]++
+	c.stats.LatencyHist.Observe(latency)
 }
 
 // Snapshot returns the current counters.

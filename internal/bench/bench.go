@@ -95,6 +95,7 @@ func Registry() []Experiment {
 		{ID: "SC6", Title: "Self-tuning control plane: step-response convergence", Paper: "runtime self-tuning, scaled (north star)", Run: runSC6},
 		{ID: "SC7", Title: "Content-addressable compressed cold tier: footprint, promotion, shred safety", Paper: "storage limitation at scale (north star)", Run: runSC7},
 		{ID: "SC8", Title: "Multi-node subject routing: scaling + cross-node erasure propagation", Paper: "multi-machine controllers (§5), scaled (north star)", Run: runSC8},
+		{ID: "SC9", Title: "GDPRBench-style macro workloads: per-class tails + regulator invariants", Paper: "realistic controller traffic, scaled (north star)", Run: runSC9},
 	}
 }
 

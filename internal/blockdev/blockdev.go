@@ -299,6 +299,56 @@ func FindResidue(dev *Mem, pattern []byte) []uint64 {
 	return hits
 }
 
+// FindResidueAny scans the raw image of dev once for every pattern and
+// returns the number of (pattern, block) pairs with at least one plaintext
+// match. One traversal replaces len(patterns) FindResidue passes, which is
+// what post-run invariant checks sampling many erased secrets need; a
+// non-zero result after a GDPR erasure is a right-to-be-forgotten
+// violation.
+func FindResidueAny(dev *Mem, patterns [][]byte) int {
+	var first [256][]int
+	nonEmpty := false
+	for idx, p := range patterns {
+		if len(p) > 0 {
+			first[p[0]] = append(first[p[0]], idx)
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		return 0
+	}
+	img := dev.ReadRaw()
+	seen := make(map[[2]uint64]bool)
+	hits := 0
+	for i := 0; i < len(img); i++ {
+		cands := first[img[i]]
+		if len(cands) == 0 {
+			continue
+		}
+		for _, idx := range cands {
+			p := patterns[idx]
+			if i+len(p) > len(img) {
+				continue
+			}
+			match := true
+			for j := 1; j < len(p); j++ {
+				if img[i+j] != p[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				key := [2]uint64{uint64(idx), uint64(i) / BlockSize}
+				if !seen[key] {
+					seen[key] = true
+					hits++
+				}
+			}
+		}
+	}
+	return hits
+}
+
 // Faulty wraps a Device and injects deterministic faults: whole-operation
 // read errors and torn writes (only a prefix of the block is persisted).
 // Crash-consistency tests for the journaled filesystems use it.

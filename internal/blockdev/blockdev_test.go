@@ -130,6 +130,39 @@ func TestFindResidue(t *testing.T) {
 	}
 }
 
+func TestFindResidueAny(t *testing.T) {
+	dev := MustMem(8)
+	block := make([]byte, BlockSize)
+	copy(block[10:], "alpha-secret")
+	copy(block[200:], "beta-secret")
+	if err := dev.WriteBlock(1, block); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteBlock(4, block); err != nil {
+		t.Fatal(err)
+	}
+	// alpha hits blocks 1 and 4, beta hits blocks 1 and 4, gamma none:
+	// 4 (pattern, block) pairs total, counted in one traversal.
+	got := FindResidueAny(dev, [][]byte{
+		[]byte("alpha-secret"), []byte("beta-secret"), []byte("gamma-secret"),
+	})
+	if got != 4 {
+		t.Fatalf("FindResidueAny = %d, want 4", got)
+	}
+	if got := FindResidueAny(dev, nil); got != 0 {
+		t.Fatalf("FindResidueAny(nil) = %d, want 0", got)
+	}
+	if got := FindResidueAny(dev, [][]byte{nil, {}}); got != 0 {
+		t.Fatalf("FindResidueAny(empty patterns) = %d, want 0", got)
+	}
+	// The batch count must agree with per-pattern FindResidue block counts.
+	want := len(FindResidue(dev, []byte("alpha-secret"))) +
+		len(FindResidue(dev, []byte("beta-secret")))
+	if got := FindResidueAny(dev, [][]byte{[]byte("alpha-secret"), []byte("beta-secret")}); got != want {
+		t.Fatalf("FindResidueAny = %d, FindResidue sum = %d", got, want)
+	}
+}
+
 func TestFindResidueSpanningBlocks(t *testing.T) {
 	dev := MustMem(4)
 	// A pattern written across the block 0/1 boundary must be found and

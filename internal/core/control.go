@@ -22,8 +22,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/admission"
 	"repro/internal/control"
+	"repro/internal/latencyhist"
 )
 
 // Control-plane setpoints. Targets are behavioural, not load-dependent:
@@ -128,7 +128,7 @@ func (s *System) buildControlGroup() (*control.Group, error) {
 			}
 		}
 		var mu sync.Mutex
-		var prev [admission.LatencyBuckets]uint64
+		var prev latencyhist.Hist
 		slo := float64(s.opts.ControlSLO)
 		c, err := control.New(control.Config{
 			Name:    "admission-queue",
@@ -143,14 +143,9 @@ func (s *System) buildControlGroup() (*control.Group, error) {
 				st := adm.Snapshot()
 				mu.Lock()
 				defer mu.Unlock()
-				var win admission.Stats
-				var total uint64
-				for i, n := range st.LatencyHist {
-					win.LatencyHist[i] = n - prev[i]
-					total += n - prev[i]
-				}
+				win := st.LatencyHist.Delta(prev)
 				prev = st.LatencyHist
-				if total == 0 {
+				if win.Total() == 0 {
 					return 1.0
 				}
 				return float64(win.Quantile(0.99)) / slo

@@ -531,6 +531,14 @@ func (s *System) NPDResidueScan(pattern []byte) []uint64 {
 	return blockdev.FindResidue(s.npdDev, pattern)
 }
 
+// ResidueScanAny counts plaintext hits of any of the patterns across both
+// raw disks, one traversal per disk regardless of how many patterns are
+// checked. Post-run invariant sweeps that sample many erased secrets use
+// this batch form.
+func (s *System) ResidueScanAny(patterns [][]byte) int {
+	return blockdev.FindResidueAny(s.pdDev, patterns) + blockdev.FindResidueAny(s.npdDev, patterns)
+}
+
 // Stats aggregates machine-wide counters.
 type Stats struct {
 	DBFS    dbfs.Stats

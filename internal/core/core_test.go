@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/collect"
@@ -12,7 +13,6 @@ import (
 	"repro/internal/ps"
 	"repro/internal/purpose"
 	"repro/internal/typedsl"
-	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -179,12 +179,12 @@ func TestRightsThroughSystem(t *testing.T) {
 	setupUserType(t, s)
 	registerComputeAge(t, s)
 	rng := xrand.New(7)
-	for _, subject := range workload.SubjectIDs(5) {
-		if err := s.SubmitForm("user", subject, workload.UserRecord(rng, subject)); err != nil {
+	for _, subject := range testSubjectIDs(5) {
+		if err := s.SubmitForm("user", subject, testUserRecord(rng, subject)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if n, err := s.Acquire("user", "web_form", workload.SubjectIDs(5)); err != nil || n != 5 {
+	if n, err := s.Acquire("user", "web_form", testSubjectIDs(5)); err != nil || n != 5 {
 		t.Fatalf("Acquire = %d, %v", n, err)
 	}
 	report, err := s.Rights().Access("s000001")
@@ -272,5 +272,25 @@ func TestSimClockAccessor(t *testing.T) {
 	s := bootTest(t)
 	if _, ok := s.SimClock(); !ok {
 		t.Fatal("default boot should use a sim clock")
+	}
+}
+
+// testSubjectIDs and testUserRecord mirror the internal/workload
+// generators. They are inlined because workload now sits above core (its
+// macro targets drive core.System), so core's own tests cannot import it
+// without a cycle.
+func testSubjectIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%06d", i+1)
+	}
+	return out
+}
+
+func testUserRecord(rng *xrand.RNG, subjectID string) dbfs.Record {
+	return dbfs.Record{
+		"name":              dbfs.S("User " + subjectID),
+		"pwd":               dbfs.S("pw-" + subjectID),
+		"year_of_birthdate": dbfs.I(int64(1940 + rng.Intn(70))),
 	}
 }

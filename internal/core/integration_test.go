@@ -16,7 +16,6 @@ import (
 	"repro/internal/membrane"
 	"repro/internal/ps"
 	"repro/internal/purpose"
-	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -97,9 +96,9 @@ func TestConsentWithdrawalAffectsNextInvoke(t *testing.T) {
 	setupUserType(t, s)
 	registerComputeAge(t, s)
 	rng := xrand.New(9)
-	subjects := workload.SubjectIDs(10)
+	subjects := testSubjectIDs(10)
 	for _, subject := range subjects {
-		if err := s.SubmitForm("user", subject, workload.UserRecord(rng, subject)); err != nil {
+		if err := s.SubmitForm("user", subject, testUserRecord(rng, subject)); err != nil {
 			t.Fatal(err)
 		}
 	}

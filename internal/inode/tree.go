@@ -52,20 +52,29 @@ func encodeDirents(ents []Dirent) []byte {
 }
 
 // decodeDirents unpacks tree content; a truncated tail is an error because
-// tree mutations are journaled and must never be torn.
+// tree mutations are journaled and must never be torn. Hot DBFS subject
+// trees hold hundreds of entries and are re-decoded on every lookup, so the
+// decode counts entries first (one exact allocation, no growslice) and
+// carves all names out of a single string conversion of the payload.
 func decodeDirents(b []byte) ([]Dirent, error) {
-	var ents []Dirent
-	off := 0
-	for off < len(b) {
+	count := 0
+	for off := 0; off < len(b); count++ {
 		if off+2 > len(b) {
 			return nil, fmt.Errorf("inode: corrupt tree entry header at %d", off)
 		}
 		n := int(binary.LittleEndian.Uint16(b[off:]))
-		off += 2
-		if off+n+8 > len(b) {
-			return nil, fmt.Errorf("inode: corrupt tree entry body at %d", off)
+		if off+2+n+8 > len(b) {
+			return nil, fmt.Errorf("inode: corrupt tree entry body at %d", off+2)
 		}
-		name := string(b[off : off+n])
+		off += 2 + n + 8
+	}
+	s := string(b)
+	ents := make([]Dirent, 0, count)
+	off := 0
+	for off < len(b) {
+		n := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		name := s[off : off+n]
 		off += n
 		ino := Ino(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
@@ -74,9 +83,41 @@ func decodeDirents(b []byte) ([]Dirent, error) {
 	return ents, nil
 }
 
+// findDirent scans packed tree content for one name without materializing
+// the entry list — the Lookup fast path allocates nothing beyond the
+// payload read itself.
+func findDirent(b []byte, name string) (Ino, bool, error) {
+	off := 0
+	for off < len(b) {
+		if off+2 > len(b) {
+			return 0, false, fmt.Errorf("inode: corrupt tree entry header at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+n+8 > len(b) {
+			return 0, false, fmt.Errorf("inode: corrupt tree entry body at %d", off)
+		}
+		if n == len(name) && string(b[off:off+n]) == name {
+			return Ino(binary.LittleEndian.Uint64(b[off+n:])), true, nil
+		}
+		off += n + 8
+	}
+	return 0, false, nil
+}
+
 // loadTree reads and decodes the entries of the working tree copy d. The
 // caller owns d's inode (actor or serial mode).
 func (fs *FS) loadTree(d *dinode, t Ino) ([]Dirent, error) {
+	buf, err := fs.loadTreeBytes(d, t)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDirents(buf)
+}
+
+// loadTreeBytes reads the packed entry payload of the working tree copy d
+// without decoding it. The caller owns d's inode.
+func (fs *FS) loadTreeBytes(d *dinode, t Ino) ([]byte, error) {
 	if d.Mode != ModeTree {
 		return nil, fmt.Errorf("%w: inode %d is %v", ErrNotTree, t, d.Mode)
 	}
@@ -107,7 +148,7 @@ func (fs *FS) loadTree(d *dinode, t Ino) ([]Dirent, error) {
 		}
 		read += int(n)
 	}
-	return decodeDirents(buf)
+	return buf, nil
 }
 
 // storeTree rewrites the full entry list of tree inode t through its
@@ -395,17 +436,12 @@ func (fs *FS) Lookup(parent Ino, name string) (Ino, error) {
 			opErr = err
 			return
 		}
-		ents, err := fs.loadTree(&pd, parent)
+		buf, err := fs.loadTreeBytes(&pd, parent)
 		if err != nil {
 			opErr = err
 			return
 		}
-		for _, e := range ents {
-			if e.Name == name {
-				child, found = e.Ino, true
-				return
-			}
-		}
+		child, found, opErr = findDirent(buf, name)
 	})
 	if opErr != nil {
 		return 0, opErr

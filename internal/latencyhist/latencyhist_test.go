@@ -1,0 +1,91 @@
+package latencyhist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 9},         // 1000µs ∈ [512, 1024)... 1000>>9 == 1 -> bucket 9
+		{time.Second, 19},             // 1e6 µs
+		{time.Hour, Buckets - 1},      // clamps to the last bucket
+		{24 * time.Hour, Buckets - 1}, // stays clamped
+	} {
+		if got := BucketOf(tc.d); got != tc.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestObserveTotalDelta(t *testing.T) {
+	var h Hist
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	if h[1] != 2 || h[BucketOf(100*time.Microsecond)] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+	prev := h
+	h.Observe(time.Millisecond)
+	d := h.Delta(prev)
+	if d.Total() != 1 || d[BucketOf(time.Millisecond)] != 1 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+// TestQuantileClampsQ is the table test ported from internal/admission
+// (where Stats.Quantile is now a thin wrapper over this package): a
+// populated histogram's quantile rounds up to the containing bucket's upper
+// bound, and q outside [0,1] — including NaN — clamps instead of going
+// implementation-defined.
+func TestQuantileClampsQ(t *testing.T) {
+	// 100 samples in bucket 3 ([8,16)us), 10 in bucket 6 ([64,128)us).
+	var h Hist
+	h[3] = 100
+	h[6] = 10
+	lo := 16 * time.Microsecond
+	hi := 128 * time.Microsecond
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{-1, lo},         // below range clamps to 0
+		{0, lo},          // first bucket's upper bound
+		{0.5, lo},        // rank 55 of 110 still in bucket 3
+		{0.99, hi},       // rank 108 lands in bucket 6
+		{1, hi},          // clamps to the last recorded sample
+		{2, hi},          // above range clamps to 1
+		{math.NaN(), lo}, // NaN counts as 0, never implementation-defined
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Empty histograms stay zero whatever q is.
+	var empty Hist
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	if UpperBound(0) != 2*time.Microsecond || UpperBound(3) != 16*time.Microsecond {
+		t.Fatalf("UpperBound wrong: %v %v", UpperBound(0), UpperBound(3))
+	}
+}

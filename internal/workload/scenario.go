@@ -1,0 +1,351 @@
+// The macro scenario library: three regulator-grade seeds, each a typed
+// declaration (DSL + query purposes + rate limits + mix) the runner can
+// point at any Target. Shapes follow the mHealth-violations and
+// enforcement-fines studies in PAPERS.md:
+//
+//   - health-records: a clinic under purpose-limitation stress — care
+//     queries are consented, marketing queries never are, so a third of
+//     the DED traffic must be denied by membranes, not by code review.
+//   - regulator-audit: a bulk Article-15 sweep (AccessBatch over the whole
+//     population in rotation) under sustained, rate-limited foreground
+//     load — the admission controller must shed query bursts while the
+//     rights path stays unthrottled.
+//   - breach-response: a breach notification triggers a mass
+//     consent-withdrawal burst and an erasure wave; the machine must keep
+//     serving foreground traffic and leave zero residue.
+
+package workload
+
+import (
+	"time"
+
+	"repro/internal/dbfs"
+	"repro/internal/membrane"
+)
+
+// QuerySpec declares one purpose-bound query processing a scenario
+// registers: the runner builds a matching purpose.Decl + ded.Func whose
+// declared reads are exactly Reads.
+type QuerySpec struct {
+	Purpose     string
+	Description string
+	Reads       []string
+}
+
+// LimitSpec declares one per-purpose admission rate limit.
+type LimitSpec struct {
+	Purpose    string
+	RatePerSec float64
+	Burst      float64
+}
+
+// Scenario is one macro workload seed. Mix and SmallMix are the full-scale
+// and CI-scale declarations of the same shape.
+type Scenario struct {
+	Name  string
+	Title string
+	// DSL declares the scenario's PD type; TypeName names it.
+	DSL      string
+	TypeName string
+	// SecretField is the sensitive field the runner plants per-record
+	// secrets in — the residue-scan witness after erasure waves.
+	SecretField string
+	// Defaults mirrors the DSL's consent block as grant spellings
+	// (purpose -> "all" | view name | "none"): the runner's
+	// consent-consistency model starts from it for every inserted record,
+	// and any drift between this map and the DSL shows up as a
+	// consent-mismatch invariant failure.
+	Defaults map[string]string
+	// Queries are the processings registered for DEDQuery traffic.
+	Queries []QuerySpec
+	// Mix and SmallMix declare the traffic at full and CI scale.
+	Mix      MacroMix
+	SmallMix MacroMix
+}
+
+// MixFor selects the scale.
+func (s Scenario) MixFor(small bool) MacroMix {
+	if small {
+		return s.SmallMix
+	}
+	return s.Mix
+}
+
+// Record builds the scenario's PD record for a subject: deterministic from
+// its arguments alone (no RNG), with the runner-chosen secret in the
+// sensitive field.
+func (s Scenario) Record(subject, secret string, seq int) dbfs.Record {
+	return dbfs.Record{
+		"name":              dbfs.S("Subject " + subject + " r" + itoa(seq)),
+		s.SecretField:       dbfs.S(secret),
+		"year_of_birthdate": dbfs.I(int64(1940 + seq%70)),
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// SessionTTL is the retention-churn type's time to live — short enough
+// that sessions created early in a run expire (and are swept) before it
+// ends, in small mode too.
+const SessionTTL = 10 * time.Second
+
+// SessionSchema is the retention-churn type: ephemeral session records
+// with a TTL far below the scenario duration, created directly (the DSL's
+// age unit bottoms out at hours).
+func SessionSchema() *dbfs.Schema {
+	return &dbfs.Schema{
+		Name: "session",
+		Fields: []dbfs.Field{
+			{Name: "token", Type: dbfs.TypeString},
+			{Name: "seen", Type: dbfs.TypeInt},
+		},
+		DefaultConsent: map[string]membrane.Grant{
+			"ops": {Kind: membrane.GrantAll},
+		},
+		DefaultTTL:  SessionTTL,
+		Origin:      membrane.OriginSubject,
+		Sensitivity: membrane.SensitivityLow,
+	}
+}
+
+// SessionRecord builds one ephemeral session record.
+func SessionRecord(seq int) dbfs.Record {
+	return dbfs.Record{
+		"token": dbfs.S("tok-" + itoa(seq)),
+		"seen":  dbfs.I(int64(seq)),
+	}
+}
+
+// Scenarios lists the library in canonical order.
+func Scenarios() []Scenario {
+	return []Scenario{healthRecords(), regulatorAudit(), breachResponse()}
+}
+
+// LookupScenario finds a scenario by name.
+func LookupScenario(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+func healthRecords() Scenario {
+	return Scenario{
+		Name:  "health-records",
+		Title: "clinic under purpose-limitation stress",
+		DSL: `
+type hrecord {
+  fields {
+    name: string,
+    diagnosis: string sensitive,
+    year_of_birthdate: int
+  };
+  view v_stats { year_of_birthdate };
+  consent {
+    care: all,
+    research: v_stats,
+    marketing: none
+  };
+  collection { web_form: intake_form.html };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+`,
+		TypeName:    "hrecord",
+		SecretField: "diagnosis",
+		Defaults:    map[string]string{"care": "all", "research": "v_stats", "marketing": "none"},
+		Queries: []QuerySpec{
+			{Purpose: "care", Description: "treatment lookup", Reads: []string{"hrecord.name", "hrecord.diagnosis", "hrecord.year_of_birthdate"}},
+			{Purpose: "research", Description: "cohort statistics", Reads: []string{"hrecord.year_of_birthdate"}},
+			{Purpose: "marketing", Description: "wellness upsell (never consented)", Reads: []string{"hrecord.name"}},
+		},
+		Mix: MacroMix{
+			Name: "health-records", Duration: 120 * time.Second, Subjects: 10000, Skew: 1.2,
+			Rates: map[OpClass]Rate{
+				ClassInsert:      {PerSec: 20, BurstEvery: 10 * time.Second, BurstLen: 2 * time.Second, BurstFactor: 5},
+				ClassUpdate:      {PerSec: 10},
+				ClassDEDQuery:    {PerSec: 50},
+				ClassAccess:      {PerSec: 2},
+				ClassAccessBatch: {PerSec: 0.1},
+				ClassErase:       {PerSec: 1},
+				ClassConsent:     {PerSec: 2},
+				ClassRetention:   {PerSec: 8},
+			},
+			BatchSize:       25,
+			QueryPurposes:   []string{"care", "marketing", "research"},
+			ConsentPurposes: []string{"research", "marketing"},
+			WithdrawProb:    0.5,
+		},
+		SmallMix: MacroMix{
+			Name: "health-records-small", Duration: 20 * time.Second, Subjects: 400, Skew: 1.2,
+			Rates: map[OpClass]Rate{
+				ClassInsert:      {PerSec: 4, BurstEvery: 5 * time.Second, BurstLen: 1 * time.Second, BurstFactor: 5},
+				ClassUpdate:      {PerSec: 3},
+				ClassDEDQuery:    {PerSec: 10},
+				ClassAccess:      {PerSec: 1},
+				ClassAccessBatch: {PerSec: 0.2},
+				ClassErase:       {PerSec: 0.5},
+				ClassConsent:     {PerSec: 1},
+				ClassRetention:   {PerSec: 2},
+			},
+			BatchSize:       10,
+			QueryPurposes:   []string{"care", "marketing", "research"},
+			ConsentPurposes: []string{"research", "marketing"},
+			WithdrawProb:    0.5,
+		},
+	}
+}
+
+func regulatorAudit() Scenario {
+	return Scenario{
+		Name:  "regulator-audit",
+		Title: "bulk Article-15 audit under rate-limited foreground load",
+		DSL: `
+type account {
+  fields {
+    name: string,
+    iban: string sensitive,
+    year_of_birthdate: int
+  };
+  view v_kyc { name };
+  consent {
+    service: all,
+    analytics: v_kyc
+  };
+  collection { web_form: account_form.html };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+`,
+		TypeName:    "account",
+		SecretField: "iban",
+		Defaults:    map[string]string{"service": "all", "analytics": "v_kyc"},
+		Queries: []QuerySpec{
+			{Purpose: "service", Description: "account servicing", Reads: []string{"account.name", "account.iban", "account.year_of_birthdate"}},
+			{Purpose: "analytics", Description: "product analytics", Reads: []string{"account.name"}},
+		},
+		Mix: MacroMix{
+			Name: "regulator-audit", Duration: 120 * time.Second, Subjects: 10000, Skew: 1.1,
+			Rates: map[OpClass]Rate{
+				ClassInsert:      {PerSec: 10},
+				ClassUpdate:      {PerSec: 8},
+				ClassDEDQuery:    {PerSec: 40, BurstEvery: 15 * time.Second, BurstLen: 3 * time.Second, BurstFactor: 4},
+				ClassAccess:      {PerSec: 1},
+				ClassAccessBatch: {PerSec: 1},
+				ClassErase:       {PerSec: 0.5},
+				ClassConsent:     {PerSec: 1},
+				ClassRetention:   {PerSec: 5},
+			},
+			BatchSize:       100,
+			QueryPurposes:   []string{"service", "service", "analytics"},
+			ConsentPurposes: []string{"analytics"},
+			WithdrawProb:    0.3,
+			// Throttled below the burst peak (~107 service queries/s in
+			// bursts vs 50/s refill): the token bucket must shed the
+			// bursts deterministically while the rights path — which
+			// never passes admission — keeps serving the audit.
+			Limits: []LimitSpec{{Purpose: "service", RatePerSec: 50, Burst: 60}},
+		},
+		SmallMix: MacroMix{
+			Name: "regulator-audit-small", Duration: 20 * time.Second, Subjects: 400, Skew: 1.1,
+			Rates: map[OpClass]Rate{
+				ClassInsert:      {PerSec: 3},
+				ClassUpdate:      {PerSec: 2},
+				ClassDEDQuery:    {PerSec: 12, BurstEvery: 5 * time.Second, BurstLen: 1 * time.Second, BurstFactor: 6},
+				ClassAccess:      {PerSec: 0.5},
+				ClassAccessBatch: {PerSec: 0.5},
+				ClassErase:       {PerSec: 0.3},
+				ClassConsent:     {PerSec: 0.5},
+				ClassRetention:   {PerSec: 2},
+			},
+			BatchSize:       20,
+			QueryPurposes:   []string{"service", "service", "analytics"},
+			ConsentPurposes: []string{"analytics"},
+			WithdrawProb:    0.3,
+			// Same shape at CI scale: base service load (~8/s) sits at
+			// the refill rate, the x6 bursts must be shed.
+			Limits: []LimitSpec{{Purpose: "service", RatePerSec: 8, Burst: 10}},
+		},
+	}
+}
+
+func breachResponse() Scenario {
+	return Scenario{
+		Name:  "breach-response",
+		Title: "mass consent revocation + erasure wave after a breach",
+		DSL: `
+type profile {
+  fields {
+    name: string,
+    contact: string sensitive,
+    year_of_birthdate: int
+  };
+  view v_min { name };
+  consent {
+    service: all,
+    sharing: all,
+    research: v_min
+  };
+  collection { web_form: signup_form.html };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+`,
+		TypeName:    "profile",
+		SecretField: "contact",
+		Defaults:    map[string]string{"service": "all", "sharing": "all", "research": "v_min"},
+		Queries: []QuerySpec{
+			{Purpose: "service", Description: "serve the product", Reads: []string{"profile.name", "profile.contact", "profile.year_of_birthdate"}},
+			{Purpose: "sharing", Description: "partner data sharing", Reads: []string{"profile.name", "profile.contact"}},
+		},
+		Mix: MacroMix{
+			Name: "breach-response", Duration: 120 * time.Second, Subjects: 10000, Skew: 1.1,
+			Rates: map[OpClass]Rate{
+				ClassInsert:   {PerSec: 10},
+				ClassUpdate:   {PerSec: 5},
+				ClassDEDQuery: {PerSec: 30},
+				ClassAccess:   {PerSec: 2},
+				// The breach news cycle: withdrawal and erasure arrive in
+				// waves, not a trickle.
+				ClassConsent:   {PerSec: 2, BurstEvery: 30 * time.Second, BurstLen: 5 * time.Second, BurstFactor: 20},
+				ClassErase:     {PerSec: 1, BurstEvery: 30 * time.Second, BurstLen: 5 * time.Second, BurstFactor: 10},
+				ClassRetention: {PerSec: 5},
+			},
+			QueryPurposes:   []string{"service", "sharing"},
+			ConsentPurposes: []string{"sharing", "research"},
+			WithdrawProb:    0.9,
+		},
+		SmallMix: MacroMix{
+			Name: "breach-response-small", Duration: 20 * time.Second, Subjects: 400, Skew: 1.1,
+			Rates: map[OpClass]Rate{
+				ClassInsert:    {PerSec: 3},
+				ClassUpdate:    {PerSec: 2},
+				ClassDEDQuery:  {PerSec: 8},
+				ClassAccess:    {PerSec: 1},
+				ClassConsent:   {PerSec: 1, BurstEvery: 8 * time.Second, BurstLen: 2 * time.Second, BurstFactor: 10},
+				ClassErase:     {PerSec: 0.5, BurstEvery: 8 * time.Second, BurstLen: 2 * time.Second, BurstFactor: 8},
+				ClassRetention: {PerSec: 2},
+			},
+			QueryPurposes:   []string{"service", "sharing"},
+			ConsentPurposes: []string{"sharing", "research"},
+			WithdrawProb:    0.9,
+		},
+	}
+}
